@@ -1,0 +1,45 @@
+"""Message/time complexity bench (Sections I-D and IV-B).
+
+Regenerates the claim that the crash-recovery algorithms cost the same
+4 communication steps and the same message count per operation as the
+crash-stop baseline -- log-optimality is free in messages and rounds.
+"""
+
+import pytest
+
+from repro.experiments.complexity import (
+    COMPLEXITY_ALGORITHMS,
+    EXPECTED_STEPS,
+    format_complexity,
+    measure_complexity,
+)
+
+
+@pytest.mark.parametrize("algorithm", COMPLEXITY_ALGORITHMS)
+def test_algorithm_complexity(benchmark, algorithm):
+    results = benchmark(measure_complexity, (algorithm,), 5, 5)
+    result = results[0]
+    for kind in ("read", "write"):
+        measured = result.steps_of(kind)
+        benchmark.extra_info[f"{kind}_steps"] = measured
+        benchmark.extra_info[f"{kind}_messages"] = result.messages_of(kind)
+        assert measured == EXPECTED_STEPS[algorithm][kind]
+
+
+def test_full_table(benchmark, write_result):
+    results = benchmark.pedantic(measure_complexity, rounds=1, iterations=1)
+    write_result("message_complexity", format_complexity(results))
+    by_name = {result.algorithm: result for result in results}
+    # The paper's headline claim, asserted:
+    for kind in ("read", "write"):
+        assert (
+            by_name["crash-stop"].messages_of(kind)
+            == by_name["transient"].messages_of(kind)
+            == by_name["persistent"].messages_of(kind)
+        )
+        assert (
+            by_name["crash-stop"].steps_of(kind)
+            == by_name["transient"].steps_of(kind)
+            == by_name["persistent"].steps_of(kind)
+            == 4
+        )

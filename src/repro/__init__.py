@@ -1,0 +1,91 @@
+"""repro -- Robust emulations of shared memory in a crash-recovery model.
+
+A faithful, executable reproduction of Guerraoui & Levy, *Robust
+Emulations of Shared Memory in a Crash-Recovery Model* (ICDCS 2004):
+
+* the log-optimal **persistent** and **transient** atomic register
+  emulations (Figures 4 and 5 of the paper) plus the crash-stop
+  baselines they extend (ABD, Lynch-Shvartsman);
+* a deterministic discrete-event simulator calibrated to the paper's
+  testbed, and an asyncio/UDP runtime running the same protocol code;
+* black-box and white-box checkers for the paper's two consistency
+  criteria, and engine-level measurement of the paper's cost metric
+  (causal logs per operation);
+* experiment harnesses regenerating every figure of the evaluation.
+
+Quickstart::
+
+    from repro import SimCluster
+
+    cluster = SimCluster(protocol="persistent", num_processes=5)
+    cluster.start()
+    cluster.write_sync(pid=0, value="hello")
+    assert cluster.read_sync(pid=1) == "hello"
+    cluster.crash(0)
+    cluster.recover(0, wait=True)
+    assert cluster.read_sync(pid=0) == "hello"
+    assert cluster.check_atomicity().ok
+"""
+
+from repro.cluster import SimCluster
+from repro.common.config import (
+    ClusterConfig,
+    NetworkConfig,
+    StorageConfig,
+    PAPER_DELTA,
+    PAPER_LAMBDA,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    NotRecoveredError,
+    OperationAborted,
+    ProcessCrashed,
+    ProtocolError,
+    ReproError,
+    StorageError,
+    TransportError,
+)
+from repro.common.timestamps import Tag, bottom_tag
+from repro.common.values import SizedValue
+from repro.history.checker import (
+    AtomicityVerdict,
+    check_persistent_atomicity,
+    check_transient_atomicity,
+)
+from repro.history.history import History
+from repro.metrics import RunMetrics, collect_metrics
+from repro.protocol.registry import PROTOCOLS, get_protocol_class
+from repro.sim.failures import CrashSchedule, RandomCrashPlan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicityVerdict",
+    "ClusterConfig",
+    "ConfigurationError",
+    "CrashSchedule",
+    "History",
+    "NetworkConfig",
+    "NotRecoveredError",
+    "OperationAborted",
+    "PAPER_DELTA",
+    "PAPER_LAMBDA",
+    "PROTOCOLS",
+    "ProcessCrashed",
+    "ProtocolError",
+    "RandomCrashPlan",
+    "ReproError",
+    "RunMetrics",
+    "SimCluster",
+    "SizedValue",
+    "StorageConfig",
+    "StorageError",
+    "Tag",
+    "TransportError",
+    "bottom_tag",
+    "check_persistent_atomicity",
+    "check_transient_atomicity",
+    "collect_metrics",
+    "get_protocol_class",
+    "__version__",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro figure6-top
+    python -m repro figure6-bottom --repeats 20
+    python -m repro figure1
+    python -m repro lower-bounds
+    python -m repro log-complexity
+    python -m repro ablations
+    python -m repro weaker-memory
+    python -m repro all
+
+Each subcommand prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+
+def _cmd_figure6_top(args: argparse.Namespace) -> str:
+    from repro.experiments.figure6 import figure6_top, format_figure6_top
+
+    series = figure6_top(repeats=args.repeats)
+    return (
+        "Figure 6 (top): average write time vs. number of workstations\n"
+        "(paper at N=5: crash-stop ~500us, transient ~700us, persistent ~900us)\n\n"
+        + format_figure6_top(series)
+    )
+
+
+def _cmd_figure6_bottom(args: argparse.Namespace) -> str:
+    from repro.experiments.figure6 import (
+        figure6_bottom,
+        format_figure6_bottom,
+        linearity_of,
+    )
+
+    series = figure6_bottom(repeats=args.repeats)
+    lines = [
+        "Figure 6 (bottom): average write time vs. payload size, N = 5",
+        "(the paper reports linear growth up to the 64 KB UDP limit)",
+        "",
+        format_figure6_bottom(series),
+        "",
+    ]
+    for algorithm, points in series.items():
+        slope, intercept, r2 = linearity_of(points)
+        lines.append(
+            f"{algorithm}: latency_us = {slope:.6f} * bytes + {intercept:.1f}"
+            f"  (R^2 = {r2:.6f})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_figure1(args: argparse.Namespace) -> str:
+    from repro.experiments.figure1 import (
+        format_figure1,
+        run_persistent,
+        run_transient,
+    )
+
+    return format_figure1(run_persistent(), run_transient())
+
+
+def _cmd_lower_bounds(args: argparse.Namespace) -> str:
+    from repro.experiments.lower_bounds import (
+        format_lower_bounds,
+        run_rho1,
+        run_rho2,
+        run_rho3,
+        run_rho4,
+    )
+
+    runs = [run_rho1(a) for a in ("persistent", "transient", "broken-no-prelog")]
+    runs += [run_rho4(a) for a in ("persistent", "transient", "broken-no-writeback")]
+    runs.append(run_rho2("persistent"))
+    runs.append(run_rho3("persistent"))
+    return (
+        "Lower-bound runs (Theorems 1 and 2; Figures 2 and 3)\n\n"
+        + format_lower_bounds(runs)
+    )
+
+
+def _cmd_log_complexity(args: argparse.Namespace) -> str:
+    from repro.experiments.log_complexity import (
+        format_log_complexity,
+        measure_log_complexity,
+    )
+
+    rows = measure_log_complexity(operations=args.operations)
+    return (
+        "Measured causal logs per operation vs. the paper's bounds\n\n"
+        + format_log_complexity(rows)
+    )
+
+
+def _cmd_ablations(args: argparse.Namespace) -> str:
+    from repro.experiments.ablations import format_ablations, run_all_ablations
+
+    return (
+        "Ablations: remove one design ingredient, observe its anomaly\n\n"
+        + format_ablations(run_all_ablations())
+    )
+
+
+def _cmd_show_run(args: argparse.Namespace) -> str:
+    from repro.experiments.figure1 import run_persistent, run_transient
+    from repro.viz import render_history
+
+    persistent = run_persistent()
+    transient = run_transient()
+    return (
+        "Space-time diagrams of the Figure 1 runs (cf. the paper's figure)\n\n"
+        "persistent algorithm -- recovery finishes the interrupted write:\n\n"
+        + render_history(persistent.history, width=92)
+        + "\n\ntransient algorithm -- the interrupted write overlaps W(v3):\n\n"
+        + render_history(transient.history, width=92)
+    )
+
+
+def _cmd_complexity(args: argparse.Namespace) -> str:
+    from repro.experiments.complexity import format_complexity, measure_complexity
+
+    results = measure_complexity(operations=5)
+    return (
+        "Message and time complexity per operation\n"
+        "(the paper: 4 communication steps for any operation; minimizing\n"
+        " logs adds no messages or steps over the crash-stop baseline)\n\n"
+        + format_complexity(results)
+    )
+
+
+def _cmd_weaker_memory(args: argparse.Namespace) -> str:
+    from repro.experiments.weaker_memory import (
+        COMPARED,
+        format_costs,
+        format_inversions,
+        measure_costs,
+        new_old_inversion_run,
+    )
+
+    rows = measure_costs(repeats=args.repeats)
+    inversions = [new_old_inversion_run(a) for a in COMPARED]
+    return (
+        "Section VI: weaker-than-atomic emulations\n\n"
+        + format_costs(rows)
+        + "\n\nNew/old inversion schedule:\n\n"
+        + format_inversions(inversions)
+    )
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "figure6-top": _cmd_figure6_top,
+    "figure6-bottom": _cmd_figure6_bottom,
+    "figure1": _cmd_figure1,
+    "lower-bounds": _cmd_lower_bounds,
+    "log-complexity": _cmd_log_complexity,
+    "message-complexity": _cmd_complexity,
+    "ablations": _cmd_ablations,
+    "weaker-memory": _cmd_weaker_memory,
+    "show-run": _cmd_show_run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation of 'Robust Emulations of Shared "
+            "Memory in a Crash-Recovery Model' (Guerraoui & Levy, ICDCS 2004)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in COMMANDS:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument(
+            "--repeats", type=int, default=50,
+            help="operations per data point (default: 50)",
+        )
+        sub.add_argument(
+            "--operations", type=int, default=30,
+            help="operations per workload (log-complexity; default: 30)",
+        )
+    all_cmd = subparsers.add_parser("all", help="run every experiment")
+    all_cmd.add_argument("--repeats", type=int, default=20)
+    all_cmd.add_argument("--operations", type=int, default=20)
+    return parser
+
+
+def run(argv: Optional[List[str]] = None) -> str:
+    """Execute the CLI and return the produced text (for tests)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        sections = []
+        for name, command in COMMANDS.items():
+            sections.append("=" * 72)
+            sections.append(f"== {name}")
+            sections.append("=" * 72)
+            sections.append(command(args))
+            sections.append("")
+        return "\n".join(sections)
+    return COMMANDS[args.command](args)
+
+
+def main() -> int:
+    print(run(sys.argv[1:]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

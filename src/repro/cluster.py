@@ -1,0 +1,292 @@
+"""High-level simulation API: build a cluster, run operations, inspect.
+
+This is the front door of the library for simulated runs::
+
+    from repro import SimCluster
+
+    cluster = SimCluster(protocol="persistent", num_processes=5)
+    cluster.start()
+    cluster.write_sync(pid=0, value="hello")
+    assert cluster.read_sync(pid=1) == "hello"
+    cluster.crash(0)
+    cluster.recover(0)
+    verdict = cluster.check_atomicity()
+    assert verdict.ok
+
+Everything runs on virtual time: ``write_sync``/``read_sync`` advance
+the simulation until the operation settles.  For concurrent workloads,
+invoke with :meth:`write`/:meth:`read` (returns a handle immediately)
+and drive the clock with :meth:`run`/:meth:`run_until`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError, OperationAborted, ReproError
+from repro.common.ids import ProcessId
+from repro.history.checker import AtomicityVerdict, check_history
+from repro.history.history import History
+from repro.history.recorder import HistoryRecorder
+from repro.protocol.base import RegisterProtocol, StableView
+from repro.protocol.registry import get_protocol_class
+from repro.protocol.two_round import TwoRoundRegisterProtocol
+from repro.sim.failures import (
+    CRASH,
+    CrashSchedule,
+    TriggerInjector,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.network import SimNetwork
+from repro.sim.node import SimNode, SimOperation
+from repro.sim.storage import SimStableStorage
+from repro.sim.tracing import Trace
+
+#: Default virtual-time budget for synchronous operations, seconds.
+DEFAULT_OP_TIMEOUT = 5.0
+
+
+class SimCluster:
+    """A simulated cluster emulating one shared register."""
+
+    def __init__(
+        self,
+        protocol: str = "persistent",
+        num_processes: Optional[int] = None,
+        config: Optional[ClusterConfig] = None,
+        seed: Optional[int] = None,
+        include_broken: bool = False,
+        capture_trace: bool = True,
+    ):
+        if config is None:
+            config = ClusterConfig()
+        if num_processes is not None:
+            config = ClusterConfig(
+                num_processes=num_processes,
+                network=config.network,
+                storage=config.storage,
+                retransmit_interval=config.retransmit_interval,
+                local_step_cost=config.local_step_cost,
+                seed=config.seed if seed is None else seed,
+            )
+        elif seed is not None:
+            config = ClusterConfig(
+                num_processes=config.num_processes,
+                network=config.network,
+                storage=config.storage,
+                retransmit_interval=config.retransmit_interval,
+                local_step_cost=config.local_step_cost,
+                seed=seed,
+            )
+        self.config = config
+        self.protocol_name = protocol
+        self._protocol_class = get_protocol_class(protocol, include_broken=include_broken)
+
+        self.kernel = Kernel(seed=config.seed)
+        self.trace = Trace(capture=capture_trace)
+        self.recorder = HistoryRecorder(clock=lambda: self.kernel.now)
+        self.network = SimNetwork(
+            self.kernel, config.num_processes, config.network, self.trace
+        )
+        self.nodes: List[SimNode] = []
+        for pid in range(config.num_processes):
+            storage = SimStableStorage(self.kernel, pid, config.storage, self.trace)
+            node = SimNode(
+                pid=pid,
+                kernel=self.kernel,
+                network=self.network,
+                storage=storage,
+                protocol_factory=self._make_protocol,
+                recorder=self.recorder,
+                trace=self.trace,
+                num_processes=config.num_processes,
+            )
+            self.nodes.append(node)
+        self.injector = TriggerInjector(
+            trace=self.trace,
+            crash_fn=self._try_crash,
+            recover_fn=self._try_recover,
+            schedule_fn=lambda delay, fn: self.kernel.schedule(delay, fn),
+        )
+        self._started = False
+
+    def _make_protocol(
+        self, pid: ProcessId, num_processes: int, stable: StableView
+    ) -> RegisterProtocol:
+        cls = self._protocol_class
+        if issubclass(cls, TwoRoundRegisterProtocol):
+            return cls(
+                pid,
+                num_processes,
+                stable,
+                retransmit_interval=self.config.retransmit_interval,
+            )
+        return cls(pid, num_processes, stable)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, timeout: float = 1.0) -> None:
+        """Boot every process and wait until all report ready."""
+        if self._started:
+            raise ReproError("cluster already started")
+        self._started = True
+        for node in self.nodes:
+            node.boot()
+        ok = self.kernel.run_until(
+            lambda: all(node.ready for node in self.nodes), timeout=timeout
+        )
+        if not ok:
+            raise ReproError("cluster did not become ready within the timeout")
+
+    @property
+    def majority(self) -> int:
+        return self.config.majority
+
+    @property
+    def history(self) -> History:
+        """The recorded invocation/reply/crash/recovery history so far."""
+        return self.recorder.history
+
+    def node(self, pid: ProcessId) -> SimNode:
+        if not 0 <= pid < len(self.nodes):
+            raise ConfigurationError(f"pid {pid} out of range")
+        return self.nodes[pid]
+
+    # -- failures ------------------------------------------------------------
+
+    def crash(self, pid: ProcessId) -> None:
+        """Crash process ``pid`` immediately."""
+        self.node(pid).crash()
+
+    def recover(self, pid: ProcessId, wait: bool = False, timeout: float = 1.0) -> None:
+        """Restart process ``pid``; optionally run until it is ready."""
+        node = self.node(pid)
+        node.recover()
+        if wait:
+            ok = self.kernel.run_until(lambda: node.ready, timeout=timeout)
+            if not ok:
+                raise ReproError(
+                    f"process {pid} did not finish recovery within the timeout"
+                )
+
+    def crashed_processes(self) -> List[ProcessId]:
+        return [node.pid for node in self.nodes if node.crashed]
+
+    def _try_crash(self, pid: ProcessId) -> None:
+        node = self.node(pid)
+        if not node.crashed:
+            node.crash()
+
+    def _try_recover(self, pid: ProcessId) -> None:
+        node = self.node(pid)
+        if node.crashed:
+            node.recover()
+
+    def install_schedule(self, schedule: CrashSchedule) -> None:
+        """Arm a time-based crash/recovery schedule.
+
+        Actions whose instant already passed (e.g. scheduled relative
+        to t=0 but installed after :meth:`start` advanced the clock)
+        fire immediately, preserving their relative order.
+        """
+        for action in schedule.actions:
+            delay = max(0.0, action.time - self.kernel.now)
+            if action.action == CRASH:
+                self.kernel.schedule(delay, self._try_crash, action.pid)
+            else:
+                self.kernel.schedule(delay, self._try_recover, action.pid)
+
+    # -- operations ------------------------------------------------------------
+
+    def write(self, pid: ProcessId, value: Any) -> SimOperation:
+        """Invoke a write at process ``pid``; returns the handle."""
+        return self.node(pid).invoke_write(value)
+
+    def read(self, pid: ProcessId) -> SimOperation:
+        """Invoke a read at process ``pid``; returns the handle."""
+        return self.node(pid).invoke_read()
+
+    def wait(
+        self, handle: SimOperation, timeout: float = DEFAULT_OP_TIMEOUT
+    ) -> SimOperation:
+        """Advance virtual time until ``handle`` settles."""
+        ok = self.kernel.run_until(lambda: handle.settled, timeout=timeout)
+        if not ok:
+            raise ReproError(f"operation {handle.op} did not settle within {timeout}s")
+        return handle
+
+    def wait_all(
+        self, handles: Sequence[SimOperation], timeout: float = DEFAULT_OP_TIMEOUT
+    ) -> List[SimOperation]:
+        """Advance virtual time until every handle settles."""
+        ok = self.kernel.run_until(
+            lambda: all(handle.settled for handle in handles), timeout=timeout
+        )
+        if not ok:
+            unsettled = [h.op for h in handles if not h.settled]
+            raise ReproError(f"operations did not settle: {unsettled}")
+        return list(handles)
+
+    def write_sync(
+        self, pid: ProcessId, value: Any, timeout: float = DEFAULT_OP_TIMEOUT
+    ) -> SimOperation:
+        """Write and run the simulation until the write returns."""
+        handle = self.wait(self.write(pid, value), timeout=timeout)
+        if handle.aborted:
+            raise OperationAborted(f"write at p{pid} aborted by a crash")
+        return handle
+
+    def read_sync(
+        self, pid: ProcessId, timeout: float = DEFAULT_OP_TIMEOUT
+    ) -> Any:
+        """Read and run the simulation until the value is returned."""
+        handle = self.wait(self.read(pid), timeout=timeout)
+        if handle.aborted:
+            raise OperationAborted(f"read at p{pid} aborted by a crash")
+        return handle.result
+
+    # -- clock ---------------------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None, max_events: int = 1_000_000) -> None:
+        """Advance the simulation by ``duration`` (or until quiescent)."""
+        if duration is None:
+            self.kernel.run(max_events=max_events)
+        else:
+            self.kernel.run(until=self.kernel.now + duration, max_events=max_events)
+
+    def run_until(self, predicate, timeout: Optional[float] = None) -> bool:
+        """Advance the simulation until ``predicate()`` holds."""
+        return self.kernel.run_until(predicate, timeout=timeout)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    # -- verification ------------------------------------------------------------
+
+    def check_atomicity(
+        self, criterion: Optional[str] = None, initial_value: Any = None
+    ) -> AtomicityVerdict:
+        """Check the recorded history against an atomicity criterion.
+
+        ``criterion`` defaults to what the running protocol promises:
+        ``"transient"`` for the transient algorithm, ``"persistent"``
+        for everything else.
+        """
+        if criterion is None:
+            criterion = (
+                "transient" if self.protocol_name == "transient" else "persistent"
+            )
+        return check_history(
+            self.history, criterion=criterion, initial_value=initial_value
+        )
+
+    def causal_log_counts(self) -> Dict[str, List[int]]:
+        """Measured causal-log counts per operation kind."""
+        counts: Dict[str, List[int]] = {"read": [], "write": []}
+        for record in self.history.completed_operations():
+            logs = self.recorder.causal_logs(record.op)
+            if logs is not None:
+                counts[record.kind].append(logs)
+        return counts

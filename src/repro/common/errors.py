@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised by the library derives from :class:`ReproError`
+so that callers can catch library failures without catching unrelated
+bugs.  The distinctions mirror the crash-recovery model:
+
+* a *crash* is not an error of the algorithm -- it is an event of the
+  model -- but user code that awaits an operation on a crashed process
+  observes :class:`OperationAborted`;
+* :class:`ProcessCrashed` guards against driving a crashed process
+  (sending it invocations while it is down);
+* :class:`NotRecoveredError` guards against invoking operations on a
+  process that restarted but has not finished its recovery procedure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster/network/storage configuration is invalid."""
+
+
+class ProcessCrashed(ReproError):
+    """The targeted process is currently crashed."""
+
+
+class NotRecoveredError(ReproError):
+    """The process restarted but its recovery procedure has not finished.
+
+    The model (Section II of the paper) lets a recovering process run an
+    unbounded recovery procedure before it resumes the algorithm; client
+    operations are rejected until that procedure completes.
+    """
+
+
+class OperationAborted(ReproError):
+    """The invoking process crashed before the operation returned.
+
+    In history terms the invocation stays *pending*: it has no matching
+    reply.  The atomicity checkers decide how pending invocations may be
+    completed (persistent) or weakly completed (transient).
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine was driven incorrectly.
+
+    Raised, for example, when a second operation is invoked on a
+    process that already has one outstanding (processes are sequential
+    in the model), or when a crash-stop protocol is asked to recover.
+    """
+
+
+class StorageError(ReproError):
+    """A stable-storage read or write failed."""
+
+
+class TransportError(ReproError):
+    """A runtime transport could not be set up or used."""

@@ -1,0 +1,49 @@
+"""Process and operation identifiers.
+
+Processes are numbered ``0 .. n-1``; the number doubles as the tiebreak
+component of timestamps (:class:`repro.common.timestamps.Tag`).
+Operations get globally unique ids so that histories, traces and the
+causal-log accounting can refer to a specific operation execution even
+when the same process runs many reads and writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+ProcessId = int
+"""A process identifier: a small non-negative integer."""
+
+
+@dataclass(frozen=True, order=True)
+class OperationId:
+    """Unique id of one operation execution.
+
+    ``pid`` is the invoking process; ``seq`` is a per-run monotonically
+    increasing counter handed out by :func:`make_operation_id`.  Ids are
+    ordered so they can key sorted containers deterministically.
+    """
+
+    pid: ProcessId
+    seq: int
+
+    def __str__(self) -> str:
+        return f"op(p{self.pid}#{self.seq})"
+
+
+_COUNTER = itertools.count()
+_COUNTER_LOCK = threading.Lock()
+
+
+def make_operation_id(pid: ProcessId) -> OperationId:
+    """Mint a fresh :class:`OperationId` for process ``pid``.
+
+    Thread-safe: the asyncio runtime invokes operations from multiple
+    event-loop callbacks and the simulator from a single thread; a lock
+    keeps the counter safe in both settings.
+    """
+    with _COUNTER_LOCK:
+        seq = next(_COUNTER)
+    return OperationId(pid=pid, seq=seq)

@@ -1,0 +1,108 @@
+"""Lexicographic timestamps ("tags") used to order written values.
+
+The emulation algorithms order values with monotonically increasing
+timestamps.  A timestamp is a pair ``[sn, pid]`` of a sequence number
+and the id of the writing process; pairs are compared lexicographically
+so that two concurrent writers that pick the same sequence number are
+still totally ordered (footnote 2 and Lemma 2 of the paper).
+
+The transient-atomicity algorithm (Figure 5 of the paper) additionally
+uses a *recovery counter* ``rec``: the writer increments its sequence
+number by ``rec + 1`` so that a write started after a recovery cannot
+reuse the sequence number of the write it interrupted.  We carry
+``rec`` as an explicit third, least-significant component of the tag.
+For crash-stop algorithms and the persistent algorithm it is always
+zero, so the tag degenerates to the paper's ``[sn, pid]`` pair.  For
+the transient algorithm it additionally serves as a tiebreak between
+incarnations of the same writer; see
+:mod:`repro.protocol.transient` for why that closes a duplicate-tag
+corner case while preserving the algorithm's log complexity.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Tag:
+    """An ordered ``[sequence_number, process_id, recovery_count]`` timestamp.
+
+    Instances are immutable, hashable and totally ordered.  The order is
+    lexicographic: by :attr:`sn`, then :attr:`pid`, then :attr:`rec`.
+
+    >>> Tag(1, 0) < Tag(1, 1) < Tag(2, 0)
+    True
+    >>> Tag(1, 1, 0) < Tag(1, 1, 2)
+    True
+    """
+
+    sn: int
+    pid: int
+    rec: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sn < 0:
+            raise ValueError(f"sequence number must be >= 0, got {self.sn}")
+        if self.pid < 0:
+            raise ValueError(f"process id must be >= 0, got {self.pid}")
+        if self.rec < 0:
+            raise ValueError(f"recovery count must be >= 0, got {self.rec}")
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.sn, self.pid, self.rec) < (other.sn, other.pid, other.rec)
+
+    def next_for(self, pid: int, increment: int = 1, rec: int = 0) -> "Tag":
+        """Return the tag a writer with id ``pid`` derives from this one.
+
+        The writer takes the highest sequence number it collected from a
+        majority and increments it: by one in the persistent algorithm
+        (Figure 4, line 11), by ``rec + 1`` in the transient algorithm
+        (Figure 5, line 11).  The caller passes the already-computed
+        ``increment`` and the writer's recovery count ``rec``.
+        """
+        if increment < 1:
+            raise ValueError(f"increment must be >= 1, got {increment}")
+        return Tag(self.sn + increment, pid, rec)
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return the ``(sn, pid, rec)`` triple, e.g. for serialization."""
+        return (self.sn, self.pid, self.rec)
+
+    @classmethod
+    def from_tuple(cls, triple: Tuple[int, ...]) -> "Tag":
+        """Rebuild a tag from :meth:`as_tuple` output (2- or 3-tuple)."""
+        if len(triple) == 2:
+            sn, pid = triple
+            return cls(sn, pid)
+        sn, pid, rec = triple
+        return cls(sn, pid, rec)
+
+    def __str__(self) -> str:
+        if self.rec:
+            return f"[{self.sn},{self.pid},r{self.rec}]"
+        return f"[{self.sn},{self.pid}]"
+
+
+def bottom_tag() -> Tag:
+    """The initial tag every process starts with (value ``\\u22a5``)."""
+    return Tag(0, 0, 0)
+
+
+def max_tag(tags: Iterable[Tag]) -> Optional[Tag]:
+    """Return the lexicographically largest tag, or ``None`` if empty.
+
+    Used by both rounds of the algorithms: the writer picks the highest
+    collected sequence number; the reader picks the value with the
+    highest collected tag.
+    """
+    best: Optional[Tag] = None
+    for tag in tags:
+        if best is None or tag > best:
+            best = tag
+    return best

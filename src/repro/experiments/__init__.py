@@ -1,0 +1,43 @@
+"""Experiment harnesses regenerating the paper's figures and claims.
+
+One module per table/figure (see the per-experiment index in
+DESIGN.md):
+
+* :mod:`repro.experiments.figure1` -- the persistent vs. transient runs
+  of Figure 1 (overlapping-write semantics);
+* :mod:`repro.experiments.figure6` -- both graphs of Figure 6 (write
+  latency vs. cluster size; write latency vs. payload size);
+* :mod:`repro.experiments.lower_bounds` -- the adversarial runs behind
+  Theorems 1 and 2 (Figures 2 and 3);
+* :mod:`repro.experiments.log_complexity` -- measured causal logs per
+  operation vs. the paper's bounds;
+* :mod:`repro.experiments.ablations` -- one anomaly per removed design
+  ingredient (forgotten/confused/orphan values, new/old inversion).
+
+Each harness returns plain data and offers a ``format_*`` helper that
+prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.figure6 import (
+    Figure6Point,
+    figure6_bottom,
+    figure6_top,
+    format_figure6_bottom,
+    format_figure6_top,
+)
+from repro.experiments.log_complexity import (
+    LogComplexityRow,
+    format_log_complexity,
+    measure_log_complexity,
+)
+
+__all__ = [
+    "Figure6Point",
+    "LogComplexityRow",
+    "figure6_bottom",
+    "figure6_top",
+    "format_figure6_bottom",
+    "format_figure6_top",
+    "format_log_complexity",
+    "measure_log_complexity",
+]

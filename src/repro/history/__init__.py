@@ -1,0 +1,40 @@
+"""Histories, atomicity checkers and causal-log accounting.
+
+This package is the correctness machinery of the reproduction:
+
+* :mod:`repro.history.events` / :mod:`repro.history.history` -- the
+  event vocabulary of Section III-A (invocations, replies, crashes,
+  recoveries) and well-formed histories;
+* :mod:`repro.history.checker` -- black-box checkers for *persistent*
+  and *transient* atomicity via completion / weak completion and an
+  exhaustive linearization search;
+* :mod:`repro.history.register_checker` -- a scalable white-box checker
+  that verifies the tag-based partial order of Lemmas 1-3;
+* :mod:`repro.history.causal_logs` -- engine-level accounting of the
+  paper's cost metric (causal logs per operation).
+"""
+
+from repro.history.causal_logs import CausalDepthTracker
+from repro.history.checker import (
+    AtomicityVerdict,
+    check_persistent_atomicity,
+    check_transient_atomicity,
+)
+from repro.history.events import Crash, HistoryEvent, Invoke, Recover, Reply
+from repro.history.history import History, OperationRecord
+from repro.history.recorder import HistoryRecorder
+
+__all__ = [
+    "AtomicityVerdict",
+    "CausalDepthTracker",
+    "Crash",
+    "History",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "Invoke",
+    "OperationRecord",
+    "Recover",
+    "Reply",
+    "check_persistent_atomicity",
+    "check_transient_atomicity",
+]

@@ -1,0 +1,82 @@
+"""The event vocabulary of histories (Section III-A of the paper).
+
+A history is a sequence of events of four kinds: invocations, replies,
+crashes and recoveries.  Crash and recovery events are associated with
+exactly one process; invocations and replies with one process and one
+object (we model a single register object, so the object is implicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.ids import OperationId, ProcessId
+
+READ = "read"
+WRITE = "write"
+KINDS = (READ, WRITE)
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """Base class of history events; ``time`` orders the sequence."""
+
+    time: float
+    pid: ProcessId
+
+
+@dataclass(frozen=True)
+class Invoke(HistoryEvent):
+    """An invocation event of a read or write operation."""
+
+    op: OperationId = None  # type: ignore[assignment]
+    kind: str = READ
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.op is None:
+            raise ValueError("Invoke requires an operation id")
+
+    def __str__(self) -> str:
+        if self.kind == WRITE:
+            return f"p{self.pid}: inv W({self.value!r})"
+        return f"p{self.pid}: inv R()"
+
+
+@dataclass(frozen=True)
+class Reply(HistoryEvent):
+    """A reply event matching a previous invocation of the same process."""
+
+    op: OperationId = None  # type: ignore[assignment]
+    kind: str = READ
+    result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.op is None:
+            raise ValueError("Reply requires an operation id")
+
+    def __str__(self) -> str:
+        if self.kind == WRITE:
+            return f"p{self.pid}: ret W -> ok"
+        return f"p{self.pid}: ret R -> {self.result!r}"
+
+
+@dataclass(frozen=True)
+class Crash(HistoryEvent):
+    """The process stopped executing; volatile state is lost."""
+
+    def __str__(self) -> str:
+        return f"p{self.pid}: CRASH"
+
+
+@dataclass(frozen=True)
+class Recover(HistoryEvent):
+    """The process resumed execution after a matching crash."""
+
+    def __str__(self) -> str:
+        return f"p{self.pid}: RECOVER"

@@ -1,0 +1,230 @@
+"""Histories and operation records.
+
+A :class:`History` is the ordered event sequence of one run.  It offers
+the derived views the checkers need: operation records (matched
+invocation/reply pairs, pending invocations), per-process local
+histories, and the well-formedness test of Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.common.ids import OperationId, ProcessId
+from repro.history.events import (
+    KINDS,
+    Crash,
+    HistoryEvent,
+    Invoke,
+    Recover,
+    Reply,
+)
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One operation execution reconstructed from a history.
+
+    ``reply_index``/``result`` are ``None`` for pending invocations
+    (the invoking process crashed, or the run was cut short).
+    """
+
+    op: OperationId
+    pid: ProcessId
+    kind: str
+    value: Any
+    invoke_index: int
+    invoke_time: float
+    reply_index: Optional[int] = None
+    reply_time: Optional[float] = None
+    result: Any = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the invocation has no matching reply."""
+        return self.reply_index is None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Invocation-to-reply duration, or ``None`` if pending."""
+        if self.reply_time is None:
+            return None
+        return self.reply_time - self.invoke_time
+
+    def __str__(self) -> str:
+        op_text = f"W({self.value!r})" if self.kind == "write" else "R()"
+        if self.pending:
+            return f"p{self.pid} {op_text} pending"
+        if self.kind == "read":
+            return f"p{self.pid} {op_text} -> {self.result!r}"
+        return f"p{self.pid} {op_text} -> ok"
+
+
+class MalformedHistoryError(ValueError):
+    """The event sequence violates well-formedness (Section III-A)."""
+
+
+class History:
+    """An ordered sequence of invocation/reply/crash/recovery events."""
+
+    def __init__(self, events: Optional[Sequence[HistoryEvent]] = None):
+        self._events: List[HistoryEvent] = list(events) if events else []
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, event: HistoryEvent) -> None:
+        """Add ``event`` at the end of the history."""
+        self._events.append(event)
+
+    # -- basic access ------------------------------------------------------
+
+    @property
+    def events(self) -> List[HistoryEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[HistoryEvent]:
+        return iter(self._events)
+
+    def restricted_to(self, pid: ProcessId) -> "History":
+        """The local history of process ``pid`` (``H`` at ``p``)."""
+        return History([event for event in self._events if event.pid == pid])
+
+    def object_events(self) -> "History":
+        """The history without crash/recovery events."""
+        return History(
+            [
+                event
+                for event in self._events
+                if isinstance(event, (Invoke, Reply))
+            ]
+        )
+
+    # -- derived views ---------------------------------------------------------
+
+    def operations(self) -> List[OperationRecord]:
+        """All operation executions, in invocation order.
+
+        Raises :class:`MalformedHistoryError` if a reply has no open
+        matching invocation.
+        """
+        open_invocations: Dict[OperationId, OperationRecord] = {}
+        records: List[OperationRecord] = []
+        order: Dict[OperationId, int] = {}
+        for index, event in enumerate(self._events):
+            if isinstance(event, Invoke):
+                if event.op in open_invocations:
+                    raise MalformedHistoryError(
+                        f"duplicate invocation of {event.op}"
+                    )
+                record = OperationRecord(
+                    op=event.op,
+                    pid=event.pid,
+                    kind=event.kind,
+                    value=event.value,
+                    invoke_index=index,
+                    invoke_time=event.time,
+                )
+                open_invocations[event.op] = record
+                order[event.op] = len(records)
+                records.append(record)
+            elif isinstance(event, Reply):
+                record = open_invocations.pop(event.op, None)
+                if record is None:
+                    raise MalformedHistoryError(
+                        f"reply without matching invocation: {event.op}"
+                    )
+                completed = OperationRecord(
+                    op=record.op,
+                    pid=record.pid,
+                    kind=record.kind,
+                    value=record.value,
+                    invoke_index=record.invoke_index,
+                    invoke_time=record.invoke_time,
+                    reply_index=index,
+                    reply_time=event.time,
+                    result=event.result,
+                )
+                records[order[event.op]] = completed
+        return records
+
+    def pending_operations(self) -> List[OperationRecord]:
+        """Operations whose invocation has no matching reply."""
+        return [record for record in self.operations() if record.pending]
+
+    def completed_operations(self) -> List[OperationRecord]:
+        """Operations with a matching reply."""
+        return [record for record in self.operations() if not record.pending]
+
+    # -- well-formedness ------------------------------------------------------
+
+    def is_well_formed(self) -> bool:
+        """Check Section III-A well-formedness of every local history.
+
+        (a) a local history starts with an invocation or a crash,
+        (b) a crash can only be followed by a matching recovery,
+        (c) an invocation can only be followed by a crash or a reply.
+        """
+        try:
+            self.assert_well_formed()
+        except MalformedHistoryError:
+            return False
+        return True
+
+    def assert_well_formed(self) -> None:
+        """Like :meth:`is_well_formed`, raising a diagnostic on failure."""
+        pids = {event.pid for event in self._events}
+        for pid in pids:
+            self._assert_local_well_formed(pid)
+
+    def _assert_local_well_formed(self, pid: ProcessId) -> None:
+        # State machine over the local history: 'idle' (may invoke or
+        # crash), 'busy' (open invocation), 'down' (crashed).
+        state = "start"
+        open_op: Optional[OperationId] = None
+        for event in self._events:
+            if event.pid != pid:
+                continue
+            if isinstance(event, Invoke):
+                if state in ("busy",):
+                    raise MalformedHistoryError(
+                        f"p{pid}: invocation while {open_op} is open"
+                    )
+                if state == "down":
+                    raise MalformedHistoryError(
+                        f"p{pid}: invocation while crashed"
+                    )
+                state = "busy"
+                open_op = event.op
+            elif isinstance(event, Reply):
+                if state != "busy" or event.op != open_op:
+                    raise MalformedHistoryError(
+                        f"p{pid}: reply {event.op} does not match open invocation"
+                    )
+                state = "idle"
+                open_op = None
+            elif isinstance(event, Crash):
+                if state == "down":
+                    raise MalformedHistoryError(f"p{pid}: crash while crashed")
+                state = "down"
+                open_op = None
+            elif isinstance(event, Recover):
+                if state != "down":
+                    raise MalformedHistoryError(
+                        f"p{pid}: recovery without preceding crash"
+                    )
+                state = "idle"
+
+    # -- debugging ---------------------------------------------------------------
+
+    def format(self) -> str:
+        """Readable multi-line transcript of the history."""
+        return "\n".join(
+            f"{event.time * 1e6:10.1f}us  {event}" for event in self._events
+        )
+
+    def __repr__(self) -> str:
+        return f"History({len(self._events)} events)"

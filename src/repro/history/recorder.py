@@ -1,0 +1,78 @@
+"""Recording histories from a live run.
+
+The simulator's nodes (and the asyncio runtime's nodes) report
+invocations, replies, crashes and recoveries to a
+:class:`HistoryRecorder`, which timestamps and appends them to a
+:class:`~repro.history.history.History`.  The recorder also keeps the
+per-operation metadata that the checkers and metrics want but that does
+not belong in the formal history: the tag each operation used and its
+measured causal-log count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.ids import OperationId, ProcessId
+from repro.common.timestamps import Tag
+from repro.history.events import Crash, Invoke, Recover, Reply
+from repro.history.history import History
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class OperationMeta:
+    """Side-channel facts about one operation (not part of the history)."""
+
+    tag: Optional[Tag] = None
+    causal_logs: Optional[int] = None
+    messages_sent: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class HistoryRecorder:
+    """Builds a :class:`History` plus per-operation metadata from a run."""
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self.history = History()
+        self.meta: Dict[OperationId, OperationMeta] = {}
+
+    def record_invoke(
+        self, op: OperationId, pid: ProcessId, kind: str, value: Any = None
+    ) -> None:
+        self.history.append(
+            Invoke(time=self._clock(), pid=pid, op=op, kind=kind, value=value)
+        )
+        self.meta.setdefault(op, OperationMeta())
+
+    def record_reply(
+        self, op: OperationId, pid: ProcessId, kind: str, result: Any = None
+    ) -> None:
+        self.history.append(
+            Reply(time=self._clock(), pid=pid, op=op, kind=kind, result=result)
+        )
+
+    def record_crash(self, pid: ProcessId) -> None:
+        self.history.append(Crash(time=self._clock(), pid=pid))
+
+    def record_recovery(self, pid: ProcessId) -> None:
+        self.history.append(Recover(time=self._clock(), pid=pid))
+
+    def record_tag(self, op: OperationId, tag: Tag) -> None:
+        """Attach the tag an operation decided/returned (white-box data)."""
+        self.meta.setdefault(op, OperationMeta()).tag = tag
+
+    def record_causal_logs(self, op: OperationId, depth: int) -> None:
+        """Attach the measured causal-log count of an operation."""
+        self.meta.setdefault(op, OperationMeta()).causal_logs = depth
+
+    def causal_logs(self, op: OperationId) -> Optional[int]:
+        meta = self.meta.get(op)
+        return meta.causal_logs if meta else None
+
+    def tag_of(self, op: OperationId) -> Optional[Tag]:
+        meta = self.meta.get(op)
+        return meta.tag if meta else None

@@ -1,0 +1,249 @@
+"""Scalable white-box atomicity checker based on operation tags.
+
+The exhaustive checker of :mod:`repro.history.checker` is the ground
+truth but exponential.  For soak runs with thousands of operations we
+exploit protocol knowledge: every operation reports the timestamp
+(:class:`~repro.common.timestamps.Tag`) it wrote or read, and the proof
+of the paper's Section IV-B (via Lemmas 1-3, after Lemma 13.16 of
+Lynch's *Distributed Algorithms*) shows atomicity follows from simple
+conditions on those tags:
+
+1. distinct writes carry distinct tags (Lemma 2);
+2. if ``op1`` precedes ``op2`` in real time then
+   ``tag(op1) <= tag(op2)``, strictly if ``op2`` is a write (Lemma 1);
+3. a read's result is the value written by the write whose tag it
+   returns, or the initial value for the bottom tag (Lemma 3).
+
+These conditions certify *transient* atomicity of the completed
+operations (pending writes may take effect late, which tags order
+consistently).  For *persistent* atomicity one more condition is
+needed, covering the paper's orphan-value anomaly:
+
+4. a pending write must take effect -- if ever -- before the writer's
+   next invocation: if any read returns the pending write's tag, then
+   every completed operation invoked after that next invocation must
+   carry a tag ``>=`` the pending write's.
+
+The checker trusts the tags the protocol reported (hence "white-box");
+it is used as a cross-check against the black-box checker on small
+histories and as the only affordable checker on large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.common.ids import OperationId
+from repro.common.timestamps import Tag, bottom_tag
+from repro.history.checker import PERSISTENT, TRANSIENT
+from repro.history.events import Invoke, WRITE
+from repro.history.history import History, OperationRecord
+from repro.history.recorder import HistoryRecorder
+
+
+@dataclass
+class TagCheckResult:
+    """Outcome of the white-box check."""
+
+    ok: bool
+    criterion: str
+    violations: List[str]
+    operations: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_tagged_history(
+    history: History,
+    recorder: HistoryRecorder,
+    criterion: str = PERSISTENT,
+    initial_value: Any = None,
+) -> TagCheckResult:
+    """Verify conditions 1-4 above on a recorded run."""
+    if criterion not in (PERSISTENT, TRANSIENT):
+        raise ValueError(f"unknown criterion {criterion!r}")
+    history.assert_well_formed()
+    records = history.operations()
+    completed = [record for record in records if not record.pending]
+    violations: List[str] = []
+
+    tags: Dict[OperationId, Tag] = {}
+    for record in completed:
+        tag = recorder.tag_of(record.op)
+        if tag is None:
+            violations.append(f"{record}: completed operation reported no tag")
+            continue
+        tags[record.op] = tag
+
+    _check_distinct_write_tags(completed, tags, violations)
+    _check_precedence(completed, tags, violations)
+    _check_read_values(records, tags, recorder, initial_value, violations)
+    if criterion == PERSISTENT:
+        _check_pending_write_deadlines(history, records, tags, recorder, violations)
+
+    return TagCheckResult(
+        ok=not violations,
+        criterion=criterion,
+        violations=violations,
+        operations=len(records),
+    )
+
+
+def _check_distinct_write_tags(
+    completed: List[OperationRecord],
+    tags: Dict[OperationId, Tag],
+    violations: List[str],
+) -> None:
+    seen: Dict[Tag, OperationRecord] = {}
+    for record in completed:
+        if record.kind != WRITE or record.op not in tags:
+            continue
+        tag = tags[record.op]
+        other = seen.get(tag)
+        if other is not None:
+            violations.append(
+                f"duplicate write tag {tag}: {other} and {record}"
+            )
+        seen[tag] = record
+
+
+def _check_precedence(
+    completed: List[OperationRecord],
+    tags: Dict[OperationId, Tag],
+    violations: List[str],
+) -> None:
+    # Sort by reply index; compare each op to later-invoked ones.  A
+    # quadratic scan is fine at soak scale (tens of thousands of pairs).
+    for op1 in completed:
+        if op1.op not in tags:
+            continue
+        for op2 in completed:
+            if op2.op not in tags or op1.op == op2.op:
+                continue
+            if op1.reply_index is None or op1.reply_index >= op2.invoke_index:
+                continue  # not a real-time precedence pair
+            tag1, tag2 = tags[op1.op], tags[op2.op]
+            if op2.kind == WRITE:
+                if not tag1 < tag2:
+                    violations.append(
+                        f"precedence violated: {op1} (tag {tag1}) precedes "
+                        f"write {op2} (tag {tag2}) but tags are not increasing"
+                    )
+            else:
+                if not tag1 <= tag2:
+                    violations.append(
+                        f"precedence violated: {op1} (tag {tag1}) precedes "
+                        f"read {op2} (tag {tag2}) but the read's tag is lower"
+                    )
+
+
+def _check_read_values(
+    records: List[OperationRecord],
+    tags: Dict[OperationId, Tag],
+    recorder: HistoryRecorder,
+    initial_value: Any,
+    violations: List[str],
+) -> None:
+    # Map write tag -> written value, for completed AND pending writes:
+    # a pending write's value may legitimately be read (it took effect
+    # even though the writer crashed); its tag is whatever the protocol
+    # recorded for it or what readers returned.
+    written: Dict[Tag, Any] = {bottom_tag(): initial_value}
+    for record in records:
+        if record.kind != WRITE:
+            continue
+        tag = tags.get(record.op) or recorder.tag_of(record.op)
+        if tag is not None:
+            written[tag] = record.value
+    for record in records:
+        if record.kind != "read" or record.pending:
+            continue
+        tag = tags.get(record.op)
+        if tag is None:
+            continue  # already reported
+        if tag not in written:
+            # The read's tag does not correspond to any known write;
+            # tolerate only if it matches some written value by equality
+            # (a pending write whose tag was never recorded).
+            matches = [r for r in records if r.kind == WRITE and r.value == record.result]
+            if not matches and record.result != initial_value:
+                violations.append(
+                    f"{record}: returned tag {tag} matches no write"
+                )
+            continue
+        expected = written[tag]
+        if record.result != expected:
+            violations.append(
+                f"{record}: returned {record.result!r} but tag {tag} "
+                f"was written with {expected!r}"
+            )
+
+
+def _check_pending_write_deadlines(
+    history: History,
+    records: List[OperationRecord],
+    tags: Dict[OperationId, Tag],
+    recorder: HistoryRecorder,
+    violations: List[str],
+) -> None:
+    events = history.events
+    for pending in records:
+        if pending.kind != WRITE or not pending.pending:
+            continue
+        # The pending write is only constrained if it visibly took
+        # effect: some completed read returned its value.
+        pending_tag = _infer_pending_tag(pending, records, tags, recorder)
+        if pending_tag is None:
+            continue
+        deadline = _next_invocation_index(events, pending)
+        if deadline is None:
+            continue
+        for other in records:
+            if other.pending or other.op not in tags:
+                continue
+            # The deadline is the writer's next invocation; the pending
+            # reply must appear strictly before it, so the bounding
+            # operation itself (invoke_index == deadline) already
+            # follows the pending write.
+            if other.invoke_index < deadline:
+                continue
+            if tags[other.op] < pending_tag:
+                violations.append(
+                    f"orphan value: pending {pending} (tag {pending_tag}) must "
+                    f"take effect before event {deadline}, but later "
+                    f"{other} carries smaller tag {tags[other.op]}"
+                )
+
+
+def _infer_pending_tag(
+    pending: OperationRecord,
+    records: List[OperationRecord],
+    tags: Dict[OperationId, Tag],
+    recorder: HistoryRecorder,
+) -> Optional[Tag]:
+    recorded = recorder.tag_of(pending.op)
+    if recorded is not None:
+        return recorded
+    for record in records:
+        if record.kind != "read" or record.pending:
+            continue
+        if record.result == pending.value and record.op in tags:
+            # Only trust the inference when the value is unambiguous.
+            writers = [
+                r for r in records if r.kind == WRITE and r.value == pending.value
+            ]
+            if len(writers) == 1:
+                return tags[record.op]
+    return None
+
+
+def _next_invocation_index(
+    events: List[Any], pending: OperationRecord
+) -> Optional[int]:
+    for index in range(pending.invoke_index + 1, len(events)):
+        event = events[index]
+        if event.pid == pending.pid and isinstance(event, Invoke):
+            return index
+    return None

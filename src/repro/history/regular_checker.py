@@ -1,0 +1,114 @@
+"""Checkers for safe and regular register semantics (Lamport 1986).
+
+Used by the Section VI extension: the regular emulation's histories are
+*not* atomic in general (new/old inversion is allowed) but must satisfy
+regularity, and everything must satisfy safety.  Definitions, for a
+single-writer register:
+
+* a read is **legal under safety** if, when it overlaps no write, it
+  returns the value of the last write whose reply precedes the read's
+  invocation (or the initial value); overlapping reads may return
+  anything that was ever written (we still require a real value --
+  Lamport's "arbitrary" is unhelpfully weak for testing);
+* a read is **legal under regularity** if it returns the last preceding
+  write's value or the value of some write it overlaps.
+
+Pending writes count as overlapping every later read (their reply may
+be arbitrarily late), which matches the crash-recovery reading: an
+interrupted write's value may or may not be observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.history.events import WRITE
+from repro.history.history import History, OperationRecord
+
+
+@dataclass
+class RegularityVerdict:
+    """Outcome of a safety/regularity check."""
+
+    ok: bool
+    criterion: str
+    violations: List[str]
+    operations: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _last_preceding_write(
+    reads_invoke: int, writes: List[OperationRecord]
+) -> Optional[OperationRecord]:
+    last: Optional[OperationRecord] = None
+    for write in writes:
+        if write.reply_index is not None and write.reply_index < reads_invoke:
+            if last is None or write.reply_index > last.reply_index:
+                last = write
+    return last
+
+
+def _overlapping_writes(
+    read: OperationRecord, writes: List[OperationRecord]
+) -> List[OperationRecord]:
+    overlapping = []
+    assert read.reply_index is not None
+    for write in writes:
+        starts_before_read_ends = write.invoke_index < read.reply_index
+        ends_after_read_starts = (
+            write.reply_index is None or write.reply_index > read.invoke_index
+        )
+        if starts_before_read_ends and ends_after_read_starts:
+            overlapping.append(write)
+    return overlapping
+
+
+def check_regularity(history: History, initial_value: Any = None) -> RegularityVerdict:
+    """Every completed read returns a regular value."""
+    return _check(history, initial_value, criterion="regular")
+
+
+def check_safety(history: History, initial_value: Any = None) -> RegularityVerdict:
+    """Every completed read not overlapping a write returns the last value.
+
+    Reads that do overlap writes are only required to return *some*
+    written (or initial) value.
+    """
+    return _check(history, initial_value, criterion="safe")
+
+
+def _check(history: History, initial_value: Any, criterion: str) -> RegularityVerdict:
+    history.assert_well_formed()
+    records = history.operations()
+    writes = [record for record in records if record.kind == WRITE]
+    violations: List[str] = []
+    for read in records:
+        if read.kind == WRITE or read.pending:
+            continue
+        last = _last_preceding_write(read.invoke_index, writes)
+        last_value = initial_value if last is None else last.value
+        overlapping = _overlapping_writes(read, writes)
+        if not overlapping:
+            # No concurrency: both criteria require the last value.
+            if read.result != last_value:
+                violations.append(
+                    f"{read}: no concurrent write, expected {last_value!r}"
+                )
+            continue
+        if criterion == "regular":
+            allowed = [last_value] + [write.value for write in overlapping]
+        else:  # safe: any value ever written (or initial)
+            allowed = [initial_value] + [write.value for write in writes]
+        if not any(read.result == candidate for candidate in allowed):
+            violations.append(
+                f"{read}: returned {read.result!r}, allowed {allowed!r}"
+            )
+    return RegularityVerdict(
+        ok=not violations,
+        criterion=criterion,
+        violations=violations,
+        operations=len(records),
+    )

@@ -1,0 +1,5 @@
+"""Network delay models shared by the simulator and the experiments."""
+
+from repro.net.delay import DelayModel, DelaySample
+
+__all__ = ["DelayModel", "DelaySample"]

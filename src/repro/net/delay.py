@@ -1,0 +1,91 @@
+"""Size-dependent message delay model.
+
+The paper's testbed is a 100 Mb/s LAN where a small message transits in
+about 0.1 ms, and Figure 6 (bottom) shows write latency growing linearly
+with payload size up to the 64 KB UDP limit.  This module provides the
+linear cost model that underlies both observations::
+
+    delay(size) = base_delay + size / bandwidth + jitter
+
+Instances are pure: they compute delays from a caller-provided random
+stream so that simulation runs are reproducible from their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.config import NetworkConfig
+
+
+@dataclass(frozen=True)
+class DelaySample:
+    """One sampled delay, decomposed for tracing and experiments."""
+
+    base: float
+    transmission: float
+    jitter: float
+
+    @property
+    def total(self) -> float:
+        """The full one-way delay in seconds."""
+        return self.base + self.transmission + self.jitter
+
+
+class DelayModel:
+    """Computes one-way message delays under a :class:`NetworkConfig`."""
+
+    def __init__(self, config: NetworkConfig):
+        self._config = config
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self._config
+
+    def sample(self, size: int, rng: random.Random) -> DelaySample:
+        """Sample the delay of a ``size``-byte message.
+
+        ``size`` counts the application payload; per-packet framing is
+        folded into ``base_delay``.  Raises :class:`ValueError` for
+        payloads over the transport's maximum (the paper notes a UDP
+        packet cannot carry more than 64 KB and that chunking would
+        change the algorithm, so oversized sends are a caller bug).
+        """
+        if size < 0:
+            raise ValueError(f"message size must be >= 0, got {size}")
+        if size > self._config.max_payload:
+            raise ValueError(
+                f"message of {size} bytes exceeds the transport maximum "
+                f"of {self._config.max_payload} bytes"
+            )
+        jitter = 0.0
+        if self._config.max_jitter > 0.0:
+            jitter = rng.uniform(0.0, self._config.max_jitter)
+        return DelaySample(
+            base=self._config.base_delay,
+            transmission=size / self._config.bandwidth,
+            jitter=jitter,
+        )
+
+    def mean_delay(self, size: int) -> float:
+        """Expected delay for a ``size``-byte message (no sampling)."""
+        if size < 0:
+            raise ValueError(f"message size must be >= 0, got {size}")
+        return (
+            self._config.base_delay
+            + size / self._config.bandwidth
+            + self._config.max_jitter / 2.0
+        )
+
+    def should_drop(self, rng: random.Random) -> bool:
+        """Decide whether a single transmission is lost."""
+        if self._config.drop_probability == 0.0:
+            return False
+        return rng.random() < self._config.drop_probability
+
+    def should_duplicate(self, rng: random.Random) -> bool:
+        """Decide whether a single transmission is duplicated."""
+        if self._config.duplicate_probability == 0.0:
+            return False
+        return rng.random() < self._config.duplicate_probability

@@ -1,0 +1,63 @@
+"""Crash-stop single-writer/multi-reader atomic register (ABD).
+
+The classic emulation of Attiya, Bar-Noy & Dolev (JACM 1995),
+reference [1] of the paper.  With a single writer there is nothing to
+query: the writer owns the sequence number and increments it locally,
+so a write needs only one round trip (2 communication steps).  Reads
+are the usual query + write-back (4 steps).
+
+Included as a secondary baseline: it shows what the multi-writer
+generalization costs (the extra SN query round) and gives the test
+suite a second, structurally different atomic emulation to validate
+the checkers against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import OperationId
+from repro.common.timestamps import Tag
+from repro.protocol.base import Effects, RecoveryComplete
+from repro.protocol.two_round import TwoRoundRegisterProtocol
+
+
+class AbdSwmrProtocol(TwoRoundRegisterProtocol):
+    """Single-writer crash-stop atomic register emulation ([1]).
+
+    By convention the writer is process 0; any process may read.
+    """
+
+    name: ClassVar[str] = "abd"
+    supports_recovery: ClassVar[bool] = False
+    LOGS_ON_ADOPT: ClassVar[bool] = False
+
+    WRITER_PID = 0
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._next_sn = 0
+
+    def initialize(self) -> Effects:
+        return [RecoveryComplete()]
+
+    def recover(self) -> Effects:
+        raise ProtocolError("crash-stop processes never recover")
+
+    def invoke_write(self, op: OperationId, value: Any) -> Effects:
+        if self.pid != self.WRITER_PID:
+            raise ProtocolError(
+                f"process {self.pid} is not the writer; ABD is "
+                f"single-writer (writer is process {self.WRITER_PID})"
+            )
+        return super().invoke_write(op, value)
+
+    def _start_write(self) -> Effects:
+        """Skip the SN query: the sole writer numbers writes locally."""
+        self._next_sn += 1
+        self._op_tag = Tag(self._next_sn, self.pid)
+        return self._propagate_write()
+
+    def _after_sn_quorum(self, highest: Tag) -> Effects:
+        raise AssertionError("ABD writes never run an SN query round")

@@ -1,0 +1,250 @@
+"""Protocol/environment contract: effects, stable-storage view, base class.
+
+The protocol classes are *sans-io*: they never touch sockets, disks or
+clocks.  Instead, every handler returns a list of :class:`Effect`
+values, and the hosting environment -- the simulator's
+:class:`repro.sim.node.SimNode` or the runtime's
+:class:`repro.runtime.node.RuntimeNode` -- performs them.  This is what
+makes the algorithms testable deterministically and runnable over real
+UDP with the same code.
+
+Causal-log accounting (the paper's cost metric) also lives at this
+boundary: *the environment*, not the protocol, tracks how deep each
+stable-storage write sits in the operation's causal chain, so protocols
+cannot misreport their own cost.  See
+:mod:`repro.history.causal_logs`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Hashable, List, Optional, Tuple
+
+from repro.common.ids import OperationId, ProcessId
+from repro.protocol.messages import Message
+
+# ---------------------------------------------------------------------------
+# Effects
+# ---------------------------------------------------------------------------
+
+
+class Effect:
+    """Base class of everything a protocol may ask its environment to do."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Send ``message`` to process ``dst`` (fire-and-forget, may be lost)."""
+
+    dst: ProcessId
+    message: Message
+
+
+@dataclass(frozen=True)
+class Broadcast(Effect):
+    """Send ``message`` to every process, including the sender.
+
+    The paper's implementation uses IP multicast and a listener thread
+    on every workstation, so the sender's own listener answers like any
+    other process ("when a process waits for a majority of responses,
+    it does not necessarily include itself in the majority").
+    """
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class Store(Effect):
+    """Synchronously log ``record`` under ``key`` in stable storage.
+
+    The environment performs the write with the configured latency and
+    then calls :meth:`RegisterProtocol.on_store_complete` with
+    ``token``.  ``size`` is the billable payload size in bytes.
+    """
+
+    key: str
+    record: Tuple[Any, ...]
+    size: int
+    token: Hashable
+
+
+@dataclass(frozen=True)
+class Reply(Effect):
+    """Complete operation ``op`` towards the invoking client.
+
+    ``tag`` exposes the timestamp the operation wrote or read; it is
+    not part of the register's interface, but the white-box atomicity
+    checker (:mod:`repro.history.register_checker`) consumes it.
+    """
+
+    op: OperationId
+    result: Any = None
+    tag: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class SetTimer(Effect):
+    """Arm a one-shot timer firing after ``delay`` seconds."""
+
+    delay: float
+    token: Hashable
+
+
+@dataclass(frozen=True)
+class CancelTimer(Effect):
+    """Disarm the timer identified by ``token``.  Idempotent."""
+
+    token: Hashable
+
+
+@dataclass(frozen=True)
+class RecoveryComplete(Effect):
+    """Signal that the recovery procedure finished.
+
+    Until a recovering process emits this, the environment rejects
+    client invocations with
+    :class:`repro.common.errors.NotRecoveredError`.
+    """
+
+
+Effects = List[Effect]
+"""Alias for handler return values."""
+
+
+# ---------------------------------------------------------------------------
+# Stable storage view
+# ---------------------------------------------------------------------------
+
+
+class StableView:
+    """Read-only view of a process's durable key-value records.
+
+    The environment owns the durable dictionary (it survives crashes);
+    protocols read it with :meth:`retrieve` -- the ``retrieve``
+    primitive of the model -- and write it only through :class:`Store`
+    effects so that every log is billed and traced.
+    """
+
+    def __init__(self, records: Dict[str, Tuple[Any, ...]]):
+        self._records = records
+
+    def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
+        """Return the last record logged under ``key``, or ``None``."""
+        return self._records.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+
+# ---------------------------------------------------------------------------
+# Base protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProtocolStats:
+    """Volatile per-incarnation counters, reset by a crash."""
+
+    messages_sent: int = 0
+    stores_issued: int = 0
+    reads_invoked: int = 0
+    writes_invoked: int = 0
+
+
+class RegisterProtocol(ABC):
+    """One process's state machine for a read/write register emulation.
+
+    Lifecycle::
+
+        p = SomeProtocol(pid, num_processes, stable_view)
+        effects = p.initialize()          # fresh boot, may log initial records
+        ...                               # events arrive
+        p.crash()                         # volatile state wiped in place
+        effects = p.recover()             # runs the recovery procedure
+
+    Exactly one client operation may be outstanding per process at a
+    time (processes are sequential in the model); environments enforce
+    this before calling :meth:`invoke_read`/:meth:`invoke_write`.
+    """
+
+    #: Short machine-readable algorithm name, e.g. ``"persistent"``.
+    name: ClassVar[str] = "abstract"
+    #: Whether the algorithm tolerates crash-recovery (vs. crash-stop).
+    supports_recovery: ClassVar[bool] = False
+
+    def __init__(self, pid: ProcessId, num_processes: int, stable: StableView):
+        if num_processes < 1:
+            raise ValueError("num_processes must be >= 1")
+        if not 0 <= pid < num_processes:
+            raise ValueError(f"pid {pid} out of range for n={num_processes}")
+        self.pid = pid
+        self.num_processes = num_processes
+        self.stable = stable
+        self.stats = ProtocolStats()
+        self._token_counter = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def majority(self) -> int:
+        """Majority quorum size ``ceil((n + 1) / 2)``."""
+        return self.num_processes // 2 + 1
+
+    def fresh_token(self, label: str) -> Tuple[str, int]:
+        """Mint a unique hashable token for a store or timer."""
+        self._token_counter += 1
+        return (label, self._token_counter)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abstractmethod
+    def initialize(self) -> Effects:
+        """First boot of the process (the ``Initialize`` procedure)."""
+
+    @abstractmethod
+    def recover(self) -> Effects:
+        """Restart after a crash: rebuild volatile state from ``stable``.
+
+        Must eventually lead to a :class:`RecoveryComplete` effect
+        (possibly after message exchanges, as in Figure 4's second-round
+        replay).  Crash-stop protocols raise ``NotImplementedError``.
+        """
+
+    def crash(self) -> None:
+        """Wipe volatile state in place.
+
+        The environment calls this at crash time so that a subsequent
+        :meth:`recover` starts from nothing but stable storage.  The
+        default implementation resets the stats; subclasses extend it.
+        """
+        self.stats = ProtocolStats()
+
+    # -- client operations ---------------------------------------------------
+
+    @abstractmethod
+    def invoke_read(self, op: OperationId) -> Effects:
+        """Begin a read operation."""
+
+    @abstractmethod
+    def invoke_write(self, op: OperationId, value: Any) -> Effects:
+        """Begin a write operation."""
+
+    # -- events ----------------------------------------------------------------
+
+    @abstractmethod
+    def on_message(self, src: ProcessId, message: Message) -> Effects:
+        """A message arrived from process ``src``."""
+
+    @abstractmethod
+    def on_store_complete(self, token: Hashable) -> Effects:
+        """The :class:`Store` effect identified by ``token`` is durable."""
+
+    @abstractmethod
+    def on_timer(self, token: Hashable) -> Effects:
+        """The :class:`SetTimer` identified by ``token`` fired."""

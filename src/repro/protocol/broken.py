@@ -1,0 +1,140 @@
+"""Deliberately broken protocol variants for the ablation experiments.
+
+Section I-C of the paper motivates each log of the persistent algorithm
+by the failure it prevents (*forgotten-value*, *confused-values*,
+*orphan-value*).  DESIGN.md calls these design choices out for
+ablation: each class below removes exactly one ingredient, and the
+integration tests demonstrate that the corresponding anomaly becomes
+reachable (caught by the atomicity checkers) under an adversarial
+crash or schedule.
+
+None of these classes should ever be used outside tests and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.common.ids import OperationId, ProcessId
+from repro.common.timestamps import Tag
+from repro.protocol.base import Effects, RecoveryComplete
+from repro.protocol.messages import ReadAck
+from repro.protocol.persistent import PersistentAtomicProtocol
+from repro.protocol.quorum import highest_tagged
+from repro.protocol.transient import TransientAtomicProtocol
+from repro.protocol.two_round import KEY_WRITTEN
+
+
+class NoPreLogWriter(PersistentAtomicProtocol):
+    """Persistent algorithm without the writer's ``writing`` pre-log.
+
+    Removing log (1) of Figure 4 lets a writer crash after a single
+    process adopted its value, recover with no memory of the attempt,
+    and reuse the same timestamp for a different value
+    (*confused-values*) -- or simply never finish the write
+    (*orphan-value*).  This is the situation Theorem 1 proves
+    unavoidable with fewer than two causal logs.
+    """
+
+    name: ClassVar[str] = "broken-no-prelog"
+
+    def _after_sn_quorum(self, highest: Tag) -> Effects:
+        self._op_tag = Tag(highest.sn + 1, self.pid)
+        return self._propagate_write()
+
+    def recover(self) -> Effects:
+        """Restore the local value but replay nothing."""
+        self._reset_volatile()
+        written = self.stable.retrieve(KEY_WRITTEN)
+        if written is not None:
+            tag_tuple, value = written
+            self.tag = Tag.from_tuple(tag_tuple)
+            self.value = value
+            self.durable_tag = self.tag
+        return [RecoveryComplete()]
+
+
+class NoWriteBackReader(PersistentAtomicProtocol):
+    """Persistent algorithm whose reads skip the write-back round.
+
+    A read that returns the highest tag seen at *some* majority without
+    first propagating it to a majority allows the classic new/old
+    inversion: a later read by another process can still observe the
+    older value, violating atomicity even without any crash.
+    """
+
+    name: ClassVar[str] = "broken-no-writeback"
+
+    def _on_read_ack(self, src: ProcessId, message: ReadAck) -> Effects:
+        if self._op is None or message.op != self._op:
+            return []
+        if not self._tracker.record(message.round_no, src, (message.tag, message.value)):
+            return []
+        best = highest_tagged(self._tracker.responses())
+        assert best is not None
+        self._op_tag, self._op_value = best
+        effects = self._finish_round()
+        op, value = self._op, self._op_value
+        effects.extend(self._complete_operation(op, value))
+        return effects
+
+
+class NoRecCounterTransient(TransientAtomicProtocol):
+    """Transient algorithm without the recovery counter.
+
+    The writer increments the queried sequence number by one, exactly
+    like the crash-stop algorithm, and ``rec`` neither enters the
+    arithmetic nor the tag.  A writer that crashes mid-write and writes
+    again after recovery can then reuse the interrupted write's
+    timestamp for a different value -- two values under one tag
+    (*confused-values*), which even weak completion cannot linearize.
+    """
+
+    name: ClassVar[str] = "broken-no-rec"
+
+    def _after_sn_quorum(self, highest: Tag) -> Effects:
+        self._op_tag = Tag(highest.sn + 1, self.pid)
+        return self._propagate_write()
+
+
+class SubMajorityWriter(PersistentAtomicProtocol):
+    """Persistent algorithm whose writes wait for a single ack only.
+
+    The second round returns after the first acknowledgment instead of
+    a majority.  If the few processes that adopted the value crash
+    (or the value only ever reached the writer itself), a completed
+    write can vanish: a subsequent read finds no trace of it
+    (*forgotten-value*).  This demonstrates why a correct majority is
+    "clearly needed for robust emulations" (Section II).
+    """
+
+    name: ClassVar[str] = "broken-submajority"
+
+    ACK_QUORUM = 1
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._write_ack_quorum = self.ACK_QUORUM
+
+    def _propagate_write(self) -> Effects:
+        effects = super()._propagate_write()
+        # Shrink the quorum for this round only: reads keep the real
+        # majority so the anomaly is the write's fault alone.
+        self._tracker.quorum_size = self._write_ack_quorum
+        return effects
+
+    def _complete_operation(self, op: OperationId, result: Any) -> Effects:
+        self._tracker.quorum_size = self.majority
+        return super()._complete_operation(op, result)
+
+
+BROKEN_PROTOCOLS = {
+    cls.name: cls
+    for cls in (
+        NoPreLogWriter,
+        NoWriteBackReader,
+        NoRecCounterTransient,
+        SubMajorityWriter,
+    )
+}

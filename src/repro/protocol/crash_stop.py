@@ -1,0 +1,50 @@
+"""Crash-stop multi-writer/multi-reader atomic register (baseline).
+
+The algorithm of Lynch & Shvartsman (FTCS 1997), reference [2] of the
+paper: the most efficient robust atomic memory emulation known in the
+crash-stop model and the basis of both crash-recovery algorithms.
+
+* **Write**: query a majority for their tags (round 1), pick the
+  highest sequence number, increment it, stamp the writer's id, and
+  broadcast value+tag until a majority acknowledges (round 2).
+* **Read**: query a majority for value/tag pairs (round 1), pick the
+  highest tag, write that value back until a majority acknowledges
+  (round 2), then return it.
+
+Four communication steps per operation, zero stable-storage logs --
+processes that crash never recover, so volatile state suffices as long
+as a majority never crashes.  The paper's experiments use this
+algorithm as the "atomic crash-stop" curve of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.common.errors import ProtocolError
+from repro.common.timestamps import Tag
+from repro.protocol.base import Effects, RecoveryComplete
+from repro.protocol.two_round import TwoRoundRegisterProtocol
+
+
+class CrashStopMwmrProtocol(TwoRoundRegisterProtocol):
+    """Multi-writer crash-stop atomic register emulation ([2])."""
+
+    name: ClassVar[str] = "crash-stop"
+    supports_recovery: ClassVar[bool] = False
+    LOGS_ON_ADOPT: ClassVar[bool] = False
+
+    def initialize(self) -> Effects:
+        """Nothing to log; the process is immediately ready."""
+        return [RecoveryComplete()]
+
+    def recover(self) -> Effects:
+        raise ProtocolError(
+            "crash-stop processes never recover; use a crash-recovery "
+            "algorithm (persistent/transient) if processes may restart"
+        )
+
+    def _after_sn_quorum(self, highest: Tag) -> Effects:
+        """Increment the highest collected sequence number and broadcast."""
+        self._op_tag = Tag(highest.sn + 1, self.pid)
+        return self._propagate_write()

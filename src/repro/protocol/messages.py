@@ -1,0 +1,127 @@
+"""Wire messages of the emulation algorithms.
+
+The message vocabulary follows Figures 4 and 5 of the paper:
+
+========== ============================ =====================================
+paper name class                        meaning
+========== ============================ =====================================
+``SN``     :class:`SnQuery`             ask for the highest known tag
+``SN ack`` :class:`SnAck`               reply with the local tag
+``W``      :class:`WriteRequest`        adopt value+tag if tag is higher
+``W ack``  :class:`WriteAck`            value+tag durable (or already newer)
+``R``      :class:`ReadQuery`           ask for the local value+tag
+``R ack``  :class:`ReadAck`             reply with local value+tag
+========== ============================ =====================================
+
+Every request carries the invoking operation's id and a round number so
+that late or duplicated acks from a previous round (the fair-lossy
+channel may duplicate and reorder) are not miscounted toward the
+current round's quorum.  Acks echo both.
+
+Messages also declare their billable payload size so the network can
+charge size-dependent delays (Figure 6 bottom).  ``HEADER_SIZE`` covers
+opcode, op id, round and tag fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Optional
+
+from repro.common.ids import OperationId
+from repro.common.timestamps import Tag
+from repro.common.values import payload_size
+
+#: Fixed per-message framing overhead, in bytes.
+HEADER_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of all wire messages."""
+
+    op: Optional[OperationId]
+    round_no: int
+
+    @property
+    def size(self) -> int:
+        """Billable size in bytes (header plus any value payload)."""
+        return HEADER_SIZE
+
+    @property
+    def kind(self) -> str:
+        """Short wire-format name, for traces."""
+        return type(self).__name__
+
+    #: Whether this message acknowledges state the sender holds (as
+    #: opposed to requesting work).  Causal-log accounting folds a
+    #: process's own logs only into acknowledgments: an ack certifies
+    #: durability and therefore causally follows the local log it
+    #: certifies, while a (re)transmitted request carries the depth at
+    #: which its round began.  Class-level, not a wire field.
+    is_ack: ClassVar[bool] = False
+
+
+@dataclass(frozen=True)
+class SnQuery(Message):
+    """``SN``: request the highest tag known to the receiver."""
+
+
+@dataclass(frozen=True)
+class SnAck(Message):
+    """``SN ack``: the receiver's current tag."""
+
+    tag: Tag
+    is_ack: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class WriteRequest(Message):
+    """``W``: adopt ``value`` with ``tag`` if ``tag`` is lexicographically higher.
+
+    Sent by writers in their second round, by readers in their
+    write-back round, and by recovering processes replaying their
+    interrupted write (Figure 4's ``Recover``).
+    """
+
+    tag: Tag
+    value: Any
+
+    @property
+    def size(self) -> int:
+        return HEADER_SIZE + payload_size(self.value)
+
+
+@dataclass(frozen=True)
+class WriteAck(Message):
+    """``W ack``: the sender has the value durable (or something newer)."""
+
+    tag: Tag
+    is_ack: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class ReadQuery(Message):
+    """``R``: request the receiver's current value and tag."""
+
+
+@dataclass(frozen=True)
+class ReadAck(Message):
+    """``R ack``: the receiver's current value and tag.
+
+    ``durable_tag`` additionally reports the highest tag whose stable-
+    storage log has completed at the responder.  The base algorithms
+    ignore it; the fast-read optimization
+    (:class:`repro.protocol.fast_read.FastReadPersistentProtocol`)
+    skips the read's write-back round when a majority unanimously
+    reports the same durable tag.
+    """
+
+    tag: Tag
+    value: Any
+    durable_tag: Optional[Tag] = None
+    is_ack: ClassVar[bool] = True
+
+    @property
+    def size(self) -> int:
+        return HEADER_SIZE + payload_size(self.value)

@@ -1,0 +1,28 @@
+"""Asyncio/UDP runtime: the protocols over real sockets and real disks.
+
+The paper's measurements come from a C implementation on a LAN using
+UDP and synchronous file writes.  This package is the Python analogue:
+the *same* sans-io protocol classes as the simulator, hosted on
+
+* :class:`~repro.runtime.transport.UdpTransport` -- asyncio datagram
+  endpoints (UDP really can drop/reorder, matching fair-lossy);
+* :class:`~repro.runtime.storage.FileStableStorage` -- one file per
+  record, written with ``fsync`` so a store is durable when it returns
+  (buffering "would violate even transient atomicity", Section V-A);
+* :class:`~repro.runtime.node.RuntimeNode` /
+  :class:`~repro.runtime.cluster.LiveCluster` -- effect execution,
+  crash emulation (drop volatile state, void in-flight stores) and a
+  blocking convenience wrapper.
+
+The runtime exists to demonstrate the protocol code is real, and to
+let users run a live cluster on localhost (``examples/live_udp_cluster
+.py``).  For experiments, prefer the simulator: it is deterministic
+and its clock is calibrated.
+"""
+
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.node import RuntimeNode
+from repro.runtime.storage import FileStableStorage
+from repro.runtime.transport import UdpTransport
+
+__all__ = ["FileStableStorage", "LiveCluster", "RuntimeNode", "UdpTransport"]

@@ -1,0 +1,270 @@
+"""Asyncio host for one protocol instance.
+
+Mirrors :class:`repro.sim.node.SimNode` -- effect execution, causal-log
+accounting, crash/recovery semantics -- on real time and real I/O:
+
+* :class:`~repro.protocol.base.Store` effects run the file write (with
+  ``fsync``) in a thread-pool executor, completing the protocol event
+  when durable;
+* :class:`~repro.protocol.base.SetTimer` uses ``loop.call_later``;
+* crash emulation mutes the transport, cancels timers, voids in-flight
+  stores via an incarnation counter, and wipes the protocol's volatile
+  state -- everything a real ``kill -9`` would do to the algorithm,
+  inside one OS process so tests stay hermetic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.common.errors import (
+    NotRecoveredError,
+    ProcessCrashed,
+    ProtocolError,
+)
+from repro.common.ids import OperationId, ProcessId, make_operation_id
+from repro.history.causal_logs import CausalDepthTracker
+from repro.history.recorder import HistoryRecorder
+from repro.protocol.base import (
+    Broadcast,
+    CancelTimer,
+    Effect,
+    RecoveryComplete,
+    RegisterProtocol,
+    Reply,
+    Send,
+    SetTimer,
+    StableView,
+    Store,
+)
+from repro.protocol.messages import Message
+from repro.runtime.storage import FileStableStorage
+from repro.runtime.transport import UdpTransport
+
+
+class RuntimeOperation:
+    """Client handle: an :class:`asyncio.Future` plus metadata."""
+
+    def __init__(self, op: OperationId, kind: str, value: Any):
+        self.op = op
+        self.kind = kind
+        self.value = value
+        self.future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self.causal_logs: Optional[int] = None
+
+
+class RuntimeNode:
+    """One live process of the emulation."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        num_processes: int,
+        protocol_factory,
+        storage_root: Path,
+        recorder: HistoryRecorder,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.pid = pid
+        self.num_processes = num_processes
+        self.transport = UdpTransport(pid, host=host, port=port)
+        self.storage = FileStableStorage(Path(storage_root) / f"node-{pid}")
+        self._factory = protocol_factory
+        self._recorder = recorder
+        self.protocol: RegisterProtocol = protocol_factory(
+            pid, num_processes, StableView(self.storage.records)
+        )
+        self._depths = CausalDepthTracker()
+        self._timers: Dict[Hashable, asyncio.TimerHandle] = {}
+        self._current: Optional[RuntimeOperation] = None
+        self.crashed = False
+        self.ready = False
+        self.incarnation = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the transport.  Peers are installed by the cluster."""
+        await self.transport.start(self._on_message)
+
+    def boot(self) -> None:
+        """Run the protocol's Initialize procedure."""
+        self._execute(self.protocol.initialize(), depth=0, op=None)
+
+    def crash(self) -> None:
+        """Emulate a crash of this process."""
+        if self.crashed:
+            raise ProcessCrashed(f"node {self.pid} already crashed")
+        self.crashed = True
+        self.ready = False
+        self.incarnation += 1
+        self.transport.muted = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self.protocol.crash()
+        self._depths.reset()
+        if self._current is not None and not self._current.future.done():
+            self._current.future.cancel()
+        self._current = None
+        self._recorder.record_crash(self.pid)
+
+    def recover(self) -> None:
+        """Restart: reload durable state and run the recovery procedure."""
+        if not self.crashed:
+            raise ProtocolError(f"node {self.pid} is not crashed")
+        self.crashed = False
+        self.transport.muted = False
+        self.storage.reload_from_disk()
+        self.protocol.stable = StableView(self.storage.records)
+        self._recorder.record_recovery(self.pid)
+        self._execute(self.protocol.recover(), depth=0, op=None)
+
+    async def wait_ready(self, timeout: float = 5.0) -> None:
+        deadline = asyncio.get_event_loop().time() + timeout
+        while not self.ready:
+            if asyncio.get_event_loop().time() > deadline:
+                raise ProtocolError(f"node {self.pid} did not become ready")
+            await asyncio.sleep(0.005)
+
+    def close(self) -> None:
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self.transport.close()
+
+    # -- client operations -----------------------------------------------------
+
+    async def write(self, value: Any, timeout: float = 10.0) -> RuntimeOperation:
+        return await self._invoke("write", value, timeout)
+
+    async def read(self, timeout: float = 10.0) -> RuntimeOperation:
+        return await self._invoke("read", None, timeout)
+
+    async def _invoke(self, kind: str, value: Any, timeout: float) -> RuntimeOperation:
+        if self.crashed:
+            raise ProcessCrashed(f"node {self.pid} is crashed")
+        if not self.ready:
+            raise NotRecoveredError(f"node {self.pid} is not ready")
+        if self._current is not None and not self._current.future.done():
+            raise ProtocolError(f"node {self.pid} has an operation in flight")
+        op = make_operation_id(self.pid)
+        handle = RuntimeOperation(op, kind, value)
+        self._current = handle
+        self._recorder.record_invoke(op, self.pid, kind, value)
+        self._depths.observe(op, 0)
+        if kind == "write":
+            effects = self.protocol.invoke_write(op, value)
+        else:
+            effects = self.protocol.invoke_read(op)
+        self._execute(effects, depth=0, op=op)
+        await asyncio.wait_for(handle.future, timeout=timeout)
+        return handle
+
+    # -- event entry points ---------------------------------------------------
+
+    def _on_message(self, src: ProcessId, depth: int, message: Message) -> None:
+        if self.crashed:
+            return
+        context = self._depths.observe(message.op, depth)
+        effects = self.protocol.on_message(src, message)
+        self._execute(effects, depth=context, op=message.op)
+
+    def _on_store_durable(
+        self, token: Hashable, issue_depth: int, op: Optional[OperationId], incarnation: int
+    ) -> None:
+        if incarnation != self.incarnation or self.crashed:
+            return
+        depth = self._depths.record_store(op, issue_depth)
+        effects = self.protocol.on_store_complete(token)
+        self._execute(effects, depth=depth, op=op)
+
+    def _on_timer(
+        self, token: Hashable, depth: int, op: Optional[OperationId], incarnation: int
+    ) -> None:
+        if incarnation != self.incarnation or self.crashed:
+            return
+        self._timers.pop(token, None)
+        effects = self.protocol.on_timer(token)
+        self._execute(effects, depth=depth, op=op)
+
+    # -- effect execution ----------------------------------------------------------
+
+    def _execute(
+        self, effects: List[Effect], depth: int, op: Optional[OperationId]
+    ) -> None:
+        loop = asyncio.get_event_loop()
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.transport.send(
+                    effect.dst,
+                    self._outgoing_depth(effect.message, depth, op),
+                    effect.message,
+                )
+            elif isinstance(effect, Broadcast):
+                self.transport.broadcast(
+                    self._outgoing_depth(effect.message, depth, op), effect.message
+                )
+            elif isinstance(effect, Store):
+                self._spawn_store(effect, depth, op)
+            elif isinstance(effect, Reply):
+                self._complete(effect, depth)
+            elif isinstance(effect, SetTimer):
+                existing = self._timers.pop(effect.token, None)
+                if existing is not None:
+                    existing.cancel()
+                self._timers[effect.token] = loop.call_later(
+                    effect.delay,
+                    self._on_timer,
+                    effect.token,
+                    depth,
+                    op,
+                    self.incarnation,
+                )
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.token, None)
+                if handle is not None:
+                    handle.cancel()
+            elif isinstance(effect, RecoveryComplete):
+                self.ready = True
+            else:
+                raise ProtocolError(f"unknown effect {type(effect).__name__}")
+
+    def _outgoing_depth(
+        self, message: Message, handler_depth: int, handler_op: Optional[OperationId]
+    ) -> int:
+        inherited = handler_depth if message.op == handler_op else 0
+        if not message.is_ack:
+            return inherited
+        return self._depths.outgoing_depth(message.op, inherited)
+
+    def _spawn_store(
+        self, effect: Store, depth: int, op: Optional[OperationId]
+    ) -> None:
+        loop = asyncio.get_event_loop()
+        incarnation = self.incarnation
+
+        async def run() -> None:
+            await loop.run_in_executor(
+                None, self.storage.store, effect.key, effect.record, effect.size
+            )
+            self._on_store_durable(effect.token, depth, op, incarnation)
+
+        loop.create_task(run())
+
+    def _complete(self, effect: Reply, depth: int) -> None:
+        handle = self._current
+        if handle is None or handle.op != effect.op:
+            raise ProtocolError(f"node {self.pid} replied to unknown op {effect.op}")
+        causal = max(depth, self._depths.depth_of(effect.op))
+        handle.causal_logs = causal
+        self._recorder.record_reply(effect.op, self.pid, handle.kind, effect.result)
+        self._recorder.record_causal_logs(effect.op, causal)
+        if effect.tag is not None:
+            self._recorder.record_tag(effect.op, effect.tag)
+        self._current = None
+        if not handle.future.done():
+            handle.future.set_result(effect.result)

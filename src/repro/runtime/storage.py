@@ -1,0 +1,93 @@
+"""File-backed stable storage with synchronous durability.
+
+Each record is one file under the node's directory, written via a
+temporary file + ``fsync`` + atomic rename so that a torn write can
+never corrupt the previous record -- mirroring the simulator's
+semantics where an in-flight store that crashes leaves the old record
+intact.  Records are serialized with :mod:`pickle` (library-internal
+data only; nothing here parses untrusted input).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import StorageError
+
+_SUFFIX = ".rec"
+
+
+class FileStableStorage:
+    """Durable key-record storage rooted at a directory."""
+
+    def __init__(self, root: Path):
+        self._root = Path(root)
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(f"cannot create storage dir {self._root}: {exc}")
+        self._records: Dict[str, Tuple[Any, ...]] = {}
+        self._load()
+        self.stores_completed = 0
+        self.bytes_logged = 0
+
+    @property
+    def records(self) -> Dict[str, Tuple[Any, ...]]:
+        """In-memory view of the durable records (kept in sync)."""
+        return self._records
+
+    def _path(self, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in key)
+        return self._root / f"{safe}{_SUFFIX}"
+
+    def _load(self) -> None:
+        for path in self._root.glob(f"*{_SUFFIX}"):
+            try:
+                with open(path, "rb") as handle:
+                    key, record = pickle.load(handle)
+            except (OSError, pickle.PickleError) as exc:
+                raise StorageError(f"corrupt record {path}: {exc}")
+            self._records[key] = record
+
+    def store(self, key: str, record: Tuple[Any, ...], size: int) -> None:
+        """Synchronously persist ``record`` under ``key``.
+
+        Returns only once the bytes are on disk (write + fsync +
+        rename + directory fsync): the ``store`` primitive of the
+        model.  Runs in an executor thread when called from asyncio.
+        """
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        payload = pickle.dumps((key, record))
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            dir_fd = os.open(self._root, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError as exc:
+            raise StorageError(f"store of {key!r} failed: {exc}")
+        self._records[key] = record
+        self.stores_completed += 1
+        self.bytes_logged += size
+
+    def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
+        """Read the last durable record under ``key`` (or ``None``)."""
+        return self._records.get(key)
+
+    def reload_from_disk(self) -> None:
+        """Drop the in-memory view and re-read the files.
+
+        Used by crash emulation: a "recovering" node must see exactly
+        what is durable, not what its previous incarnation cached.
+        """
+        self._records = {}
+        self._load()

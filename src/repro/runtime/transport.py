@@ -1,0 +1,117 @@
+"""Asyncio UDP transport between cluster nodes.
+
+One datagram socket per node; messages are pickled
+``(src, depth, message)`` triples.  UDP gives exactly the fair-lossy
+channel of the model: datagrams can be dropped, duplicated or
+reordered, and the protocols' retransmission loops handle it.
+Payloads above the 64 KB datagram limit raise, as in the paper
+("a UDP packet cannot contain more than 64KB of data").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import TransportError
+from repro.common.ids import ProcessId
+from repro.protocol.messages import Message
+
+#: Hard UDP payload ceiling (IPv4 localhost supports slightly less
+#: than 64 KB of payload after headers).
+MAX_DATAGRAM = 65000
+
+
+@dataclass(frozen=True)
+class Peer:
+    """Network address of one cluster member."""
+
+    pid: ProcessId
+    host: str
+    port: int
+
+
+ReceiveCallback = Callable[[ProcessId, int, Message], None]
+
+
+class _Endpoint(asyncio.DatagramProtocol):
+    def __init__(self, transport_owner: "UdpTransport"):
+        self._owner = transport_owner
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        # ICMP errors (e.g. peer not yet bound) are expected on UDP and
+        # handled by retransmission.
+        pass
+
+
+class UdpTransport:
+    """One node's UDP endpoint and its view of the peer set."""
+
+    def __init__(self, pid: ProcessId, host: str = "127.0.0.1", port: int = 0):
+        self.pid = pid
+        self.host = host
+        self.port = port
+        self._peers: Dict[ProcessId, Peer] = {}
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._receive: Optional[ReceiveCallback] = None
+        self.messages_sent = 0
+        self.messages_received = 0
+        #: Set to True to drop all I/O (crash emulation).
+        self.muted = False
+
+    async def start(self, receive: ReceiveCallback) -> None:
+        """Bind the socket and start delivering to ``receive``."""
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Endpoint(self), local_addr=(self.host, self.port)
+        )
+        self._transport = transport
+        self._receive = receive
+        sockname = transport.get_extra_info("sockname")
+        self.port = sockname[1]
+
+    def set_peers(self, peers: List[Peer]) -> None:
+        """Install the cluster membership (including this node)."""
+        self._peers = {peer.pid: peer for peer in peers}
+
+    def send(self, dst: ProcessId, depth: int, message: Message) -> None:
+        """Fire-and-forget one datagram to ``dst``."""
+        if self.muted or self._transport is None:
+            return
+        peer = self._peers.get(dst)
+        if peer is None:
+            raise TransportError(f"unknown peer {dst}")
+        payload = pickle.dumps((self.pid, depth, message))
+        if len(payload) > MAX_DATAGRAM:
+            raise TransportError(
+                f"message of {len(payload)} bytes exceeds the "
+                f"{MAX_DATAGRAM}-byte UDP datagram limit"
+            )
+        self._transport.sendto(payload, (peer.host, peer.port))
+        self.messages_sent += 1
+
+    def broadcast(self, depth: int, message: Message) -> None:
+        """Send to every known peer, including this node."""
+        for pid in self._peers:
+            self.send(pid, depth, message)
+
+    def _on_datagram(self, data: bytes) -> None:
+        if self.muted or self._receive is None:
+            return
+        try:
+            src, depth, message = pickle.loads(data)
+        except (pickle.PickleError, ValueError, EOFError):
+            return  # garbage datagram: drop, like a checksum failure
+        self.messages_received += 1
+        self._receive(src, depth, message)
+
+    def close(self) -> None:
+        """Release the socket."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package emulates the paper's testbed in software:
+
+* :mod:`repro.sim.kernel` -- virtual clock and event queue;
+* :mod:`repro.sim.network` -- fair-lossy message-passing channels with
+  size-dependent delays, drops, duplication and partitions;
+* :mod:`repro.sim.storage` -- per-process stable storage whose contents
+  survive crashes while volatile state does not;
+* :mod:`repro.sim.node` -- hosts one sans-io protocol instance, executes
+  its effects, and implements crash/recovery;
+* :mod:`repro.sim.failures` -- crash/recovery schedules and adversaries;
+* :mod:`repro.sim.tracing` -- structured event traces and metrics.
+
+Everything is deterministic given a seed: the kernel breaks ties by
+insertion order, and all randomness flows from one seeded generator.
+"""
+
+from repro.sim.invariants import InvariantMonitor, InvariantViolation
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.network import SimNetwork
+from repro.sim.node import SimNode
+from repro.sim.storage import SimStableStorage
+from repro.sim.tracing import Trace, TraceEvent
+
+__all__ = [
+    "EventHandle",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Kernel",
+    "SimNetwork",
+    "SimNode",
+    "SimStableStorage",
+    "Trace",
+    "TraceEvent",
+]

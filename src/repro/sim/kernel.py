@@ -1,0 +1,160 @@
+"""Discrete-event simulation kernel: virtual clock plus event queue.
+
+The kernel is deliberately tiny and deterministic.  Events scheduled for
+the same instant fire in insertion order, and the only source of
+randomness is the seeded :class:`random.Random` the kernel owns, so a
+run is a pure function of (program, seed).  That determinism is what
+lets the test suite replay the paper's adversarial schedules (runs
+rho_1 .. rho_4 of the lower-bound proofs) exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("callback", "args", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Kernel:
+    """Virtual clock and event queue driving one simulation run."""
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._rng = random.Random(seed)
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def rng(self) -> random.Random:
+        """The run's single seeded random stream."""
+        return self._rng
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for run budgets)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self._now + delay, callback, args)
+        heapq.heappush(self._queue, _QueueEntry(handle.time, next(self._seq), handle))
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} which is before now ({self._now})"
+            )
+        return self.schedule(time - self._now, callback, *args)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            self._events_processed += 1
+            entry.handle.callback(*entry.handle.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        ``until`` bounds virtual time (events after it stay queued and
+        the clock advances exactly to ``until``); ``max_events`` bounds
+        the number of callbacks, guarding against livelock in buggy or
+        adversarial configurations.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            next_entry = self._peek()
+            if next_entry is None:
+                break
+            if until is not None and next_entry.time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_events: int = 1_000_000,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Run until ``predicate()`` holds.
+
+        Returns ``True`` if the predicate was satisfied, ``False`` if
+        the queue drained, the event budget ran out, or virtual time
+        passed ``timeout`` first.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        for _ in range(max_events):
+            if predicate():
+                return True
+            if deadline is not None:
+                next_entry = self._peek()
+                if next_entry is not None and next_entry.time > deadline:
+                    self._now = deadline
+                    return predicate()
+            if not self.step():
+                return predicate()
+        return predicate()
+
+    def _peek(self) -> Optional[_QueueEntry]:
+        while self._queue and self._queue[0].handle.cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,238 @@
+"""Simulated fair-lossy message-passing network.
+
+Implements the channel assumptions of Section II: messages may be
+dropped, duplicated, delayed arbitrarily and reordered, but a message
+retransmitted forever to a correct process is eventually received
+(fair-lossiness), and no message is received that was not sent.  The
+delivery delay of a message follows the linear size model of
+:class:`repro.net.delay.DelayModel`, calibrated to the paper's LAN.
+
+Deliveries are *envelopes*: alongside the protocol message they carry
+the causal-log depth used by :mod:`repro.history.causal_logs` -- the
+engine-level accounting of the paper's cost metric.
+
+Partitions are modelled as directed blocked links: while blocked, every
+transmission on the link is dropped (fair-lossiness is preserved
+because partitions are required to eventually heal in any run that
+needs termination, matching the "eventually a majority is permanently
+up" assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.common.config import NetworkConfig
+from repro.common.ids import ProcessId
+from repro.net.delay import DelayModel
+from repro.protocol.messages import Message
+from repro.sim import tracing
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import Trace, TraceEvent
+
+#: One-way delay for a process's message to its own listener (loopback
+#: does not cross the wire; the paper's implementation runs the
+#: listener as a second thread on the same workstation).
+LOOPBACK_DELAY = 5e-6
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A protocol message in flight, with engine-level metadata."""
+
+    src: ProcessId
+    dst: ProcessId
+    message: Message
+    #: Causal-log depth context of the sending handler (see
+    #: :mod:`repro.history.causal_logs`).
+    depth: int
+
+
+DeliveryHandler = Callable[[Envelope], None]
+
+#: A message filter: return ``True`` to drop the transmission.
+MessageFilter = Callable[[ProcessId, ProcessId, Message], bool]
+
+
+class SimNetwork:
+    """Connects the simulated processes with fair-lossy channels."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        num_processes: int,
+        config: NetworkConfig,
+        trace: Trace,
+    ):
+        self._kernel = kernel
+        self._num_processes = num_processes
+        self._delay_model = DelayModel(config)
+        self._trace = trace
+        self._handlers: Dict[ProcessId, DeliveryHandler] = {}
+        self._blocked_links: Set[Tuple[ProcessId, ProcessId]] = set()
+        self._filters: List[MessageFilter] = []
+        # Sender-side egress queues: transmissions serialize through the
+        # sender's NIC, each occupying it for ``send_overhead``.
+        self._egress_free_at: Dict[ProcessId, float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    @property
+    def num_processes(self) -> int:
+        return self._num_processes
+
+    @property
+    def delay_model(self) -> DelayModel:
+        return self._delay_model
+
+    def attach(self, pid: ProcessId, handler: DeliveryHandler) -> None:
+        """Register the delivery handler of process ``pid``."""
+        if not 0 <= pid < self._num_processes:
+            raise ValueError(f"pid {pid} out of range")
+        self._handlers[pid] = handler
+
+    # -- partitions ----------------------------------------------------------
+
+    def block(self, src: ProcessId, dst: ProcessId) -> None:
+        """Drop all future transmissions from ``src`` to ``dst``."""
+        self._blocked_links.add((src, dst))
+
+    def unblock(self, src: ProcessId, dst: ProcessId) -> None:
+        """Heal a previously blocked link.  Idempotent."""
+        self._blocked_links.discard((src, dst))
+
+    def partition(self, group_a: Set[ProcessId], group_b: Set[ProcessId]) -> None:
+        """Block every link between ``group_a`` and ``group_b`` (both ways)."""
+        for a in group_a:
+            for b in group_b:
+                self.block(a, b)
+                self.block(b, a)
+
+    def heal_all(self) -> None:
+        """Remove every blocked link."""
+        self._blocked_links.clear()
+
+    def is_blocked(self, src: ProcessId, dst: ProcessId) -> bool:
+        return (src, dst) in self._blocked_links
+
+    # -- message filters ---------------------------------------------------
+
+    def add_filter(self, message_filter: MessageFilter) -> Callable[[], None]:
+        """Install a drop filter; returns a removal function.
+
+        Filters see ``(src, dst, message)`` for every transmission and
+        drop it by returning ``True``.  They express adversarial
+        schedules finer than link blocks -- e.g. "hold back this write's
+        second round while everything else flows", which the scripted
+        runs of Figures 1-3 rely on.
+        """
+        self._filters.append(message_filter)
+
+        def remove() -> None:
+            if message_filter in self._filters:
+                self._filters.remove(message_filter)
+
+        return remove
+
+    def _filtered(self, src: ProcessId, dst: ProcessId, message: Message) -> bool:
+        return any(f(src, dst, message) for f in self._filters)
+
+    # -- transmission ------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, message: Message, depth: int) -> None:
+        """Transmit one message (may be dropped, duplicated, delayed)."""
+        if not 0 <= dst < self._num_processes:
+            raise ValueError(f"destination {dst} out of range")
+        size = message.size
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.SEND,
+                pid=src,
+                detail={"dst": dst, "msg": message.kind, "op": message.op, "size": size},
+            )
+        )
+        if self.is_blocked(src, dst):
+            self._drop(src, dst, message, reason="partition")
+            return
+        if self._filtered(src, dst, message):
+            self._drop(src, dst, message, reason="filter")
+            return
+        rng = self._kernel.rng
+        if src != dst and self._delay_model.should_drop(rng):
+            self._drop(src, dst, message, reason="loss")
+            return
+        self._schedule_delivery(src, dst, message, depth)
+        if src != dst and self._delay_model.should_duplicate(rng):
+            self._trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.DUPLICATE,
+                    pid=src,
+                    detail={"dst": dst, "msg": message.kind},
+                )
+            )
+            self._schedule_delivery(src, dst, message, depth)
+
+    def broadcast(self, src: ProcessId, message: Message, depth: int) -> None:
+        """Send ``message`` to every process, including ``src`` itself."""
+        for dst in range(self._num_processes):
+            self.send(src, dst, message, depth)
+
+    def _schedule_delivery(
+        self, src: ProcessId, dst: ProcessId, message: Message, depth: int
+    ) -> None:
+        queue_delay = self._egress_queue_delay(src)
+        if src == dst:
+            delay = LOOPBACK_DELAY
+        else:
+            delay = self._delay_model.sample(message.size, self._kernel.rng).total
+        envelope = Envelope(src=src, dst=dst, message=message, depth=depth)
+        self._kernel.schedule(queue_delay + delay, self._deliver, envelope)
+
+    def _egress_queue_delay(self, src: ProcessId) -> float:
+        """Serialize transmissions through the sender's NIC."""
+        overhead = self._delay_model.config.send_overhead
+        if overhead == 0.0:
+            return 0.0
+        now = self._kernel.now
+        free_at = max(self._egress_free_at.get(src, now), now)
+        self._egress_free_at[src] = free_at + overhead
+        return (free_at + overhead) - now
+
+    def _deliver(self, envelope: Envelope) -> None:
+        handler = self._handlers.get(envelope.dst)
+        if handler is None:
+            return
+        self.messages_delivered += 1
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.DELIVER,
+                pid=envelope.dst,
+                detail={
+                    "src": envelope.src,
+                    "msg": envelope.message.kind,
+                    "op": envelope.message.op,
+                },
+            )
+        )
+        handler(envelope)
+
+    def _drop(
+        self, src: ProcessId, dst: ProcessId, message: Message, reason: str
+    ) -> None:
+        self.messages_dropped += 1
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.DROP,
+                pid=src,
+                detail={"dst": dst, "msg": message.kind, "reason": reason},
+            )
+        )

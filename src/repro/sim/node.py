@@ -1,0 +1,417 @@
+"""Simulated process: hosts one protocol instance and executes effects.
+
+A :class:`SimNode` is the crash-recovery *process* of the model
+(Section II).  It owns:
+
+* the protocol state machine (volatile -- wiped by a crash);
+* a :class:`~repro.sim.storage.SimStableStorage` (durable);
+* the timers armed by the protocol (volatile);
+* the causal-depth tracker used for the paper's log-complexity metric.
+
+Crash semantics.  ``crash()`` bumps the node's *incarnation* counter;
+every callback scheduled on behalf of the previous incarnation (timers,
+store completions, message deliveries already queued) checks the
+incarnation and becomes a no-op.  The protocol object's volatile state
+is wiped in place and pending client operations abort (their
+invocations stay pending in the recorded history).  ``recover()`` runs
+the protocol's recovery procedure; client operations are rejected until
+it signals :class:`~repro.protocol.base.RecoveryComplete`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.common.errors import (
+    NotRecoveredError,
+    ProcessCrashed,
+    ProtocolError,
+)
+from repro.common.ids import OperationId, ProcessId, make_operation_id
+from repro.history.causal_logs import CausalDepthTracker
+from repro.history.recorder import HistoryRecorder
+from repro.protocol.messages import Message
+from repro.protocol.base import (
+    Broadcast,
+    CancelTimer,
+    Effect,
+    RecoveryComplete,
+    RegisterProtocol,
+    Reply,
+    Send,
+    SetTimer,
+    StableView,
+    Store,
+)
+from repro.sim import tracing
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.network import Envelope, SimNetwork
+from repro.sim.storage import SimStableStorage
+from repro.sim.tracing import Trace, TraceEvent
+
+ProtocolFactory = Callable[[ProcessId, int, StableView], RegisterProtocol]
+
+# Node lifecycle states.
+UP = "up"
+CRASHED = "crashed"
+RECOVERING = "recovering"
+
+
+class SimOperation:
+    """Client-side handle of one invoked operation."""
+
+    __slots__ = (
+        "op",
+        "pid",
+        "kind",
+        "value",
+        "done",
+        "aborted",
+        "result",
+        "invoked_at",
+        "completed_at",
+        "causal_logs",
+        "_callbacks",
+    )
+
+    def __init__(self, op: OperationId, pid: ProcessId, kind: str, value: Any):
+        self.op = op
+        self.pid = pid
+        self.kind = kind
+        self.value = value
+        self.done = False
+        self.aborted = False
+        self.result: Any = None
+        self.invoked_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.causal_logs: Optional[int] = None
+        self._callbacks: List[Callable[["SimOperation"], None]] = []
+
+    def add_callback(self, callback: Callable[["SimOperation"], None]) -> None:
+        """Run ``callback(handle)`` when the operation settles.
+
+        Fires immediately if the handle already settled.
+        """
+        if self.settled:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _settle(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    @property
+    def settled(self) -> bool:
+        """Whether the operation finished or aborted."""
+        return self.done or self.aborted
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.invoked_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.invoked_at
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("aborted" if self.aborted else "pending")
+        return f"SimOperation({self.op}, {self.kind}, {state})"
+
+
+class SimNode:
+    """One simulated crash-recovery process."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        kernel: Kernel,
+        network: SimNetwork,
+        storage: SimStableStorage,
+        protocol_factory: ProtocolFactory,
+        recorder: HistoryRecorder,
+        trace: Trace,
+        num_processes: int,
+    ):
+        self.pid = pid
+        self._kernel = kernel
+        self._network = network
+        self._storage = storage
+        self._factory = protocol_factory
+        self._recorder = recorder
+        self._trace = trace
+        self._num_processes = num_processes
+
+        self.state = UP
+        self.ready = False
+        self.incarnation = 0
+        self.crash_count = 0
+
+        self._stable_view = StableView(storage.records)
+        self.protocol = protocol_factory(pid, num_processes, self._stable_view)
+        self._depths = CausalDepthTracker()
+        self._timers: Dict[Hashable, EventHandle] = {}
+        self._current_handle: Optional[SimOperation] = None
+
+        network.attach(pid, self._on_envelope)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self) -> None:
+        """Run the protocol's ``Initialize`` procedure."""
+        effects = self.protocol.initialize()
+        self._execute(effects, depth=0, op=None)
+
+    def crash(self) -> None:
+        """Crash the process: volatile state and timers are lost."""
+        if self.state == CRASHED:
+            raise ProcessCrashed(f"process {self.pid} is already crashed")
+        self.state = CRASHED
+        self.ready = False
+        self.incarnation += 1
+        self.crash_count += 1
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self._storage.crash()
+        self.protocol.crash()
+        self._depths.reset()
+        if self._current_handle is not None and not self._current_handle.settled:
+            self._current_handle.aborted = True
+            self._current_handle._settle()
+        self._current_handle = None
+        self._recorder.record_crash(self.pid)
+        self._trace.emit(
+            TraceEvent(time=self._kernel.now, kind=tracing.CRASH, pid=self.pid)
+        )
+
+    def recover(self) -> None:
+        """Restart the process and run its recovery procedure."""
+        if self.state != CRASHED:
+            raise ProtocolError(f"process {self.pid} is not crashed")
+        self.state = RECOVERING
+        self._recorder.record_recovery(self.pid)
+        self._trace.emit(
+            TraceEvent(time=self._kernel.now, kind=tracing.RECOVER, pid=self.pid)
+        )
+        effects = self.protocol.recover()
+        self._execute(effects, depth=0, op=None)
+
+    @property
+    def crashed(self) -> bool:
+        return self.state == CRASHED
+
+    @property
+    def storage(self) -> SimStableStorage:
+        """The process's stable storage (durable across crashes)."""
+        return self._storage
+
+    # -- client operations -----------------------------------------------------
+
+    def invoke_read(self) -> SimOperation:
+        """Invoke a read; returns a handle that settles as the run advances."""
+        return self._invoke("read", None)
+
+    def invoke_write(self, value: Any) -> SimOperation:
+        """Invoke a write of ``value``."""
+        return self._invoke("write", value)
+
+    def _invoke(self, kind: str, value: Any) -> SimOperation:
+        if self.state == CRASHED:
+            raise ProcessCrashed(f"process {self.pid} is crashed")
+        if not self.ready:
+            raise NotRecoveredError(
+                f"process {self.pid} has not finished initializing/recovering"
+            )
+        if self._current_handle is not None and not self._current_handle.settled:
+            raise ProtocolError(
+                f"process {self.pid} already has an operation in flight"
+            )
+        op = make_operation_id(self.pid)
+        handle = SimOperation(op, self.pid, kind, value)
+        handle.invoked_at = self._kernel.now
+        self._current_handle = handle
+        self._recorder.record_invoke(op, self.pid, kind, value)
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.INVOKE,
+                pid=self.pid,
+                detail={"op": op, "kind": kind},
+            )
+        )
+        self._depths.observe(op, 0)
+        if kind == "read":
+            effects = self.protocol.invoke_read(op)
+        else:
+            effects = self.protocol.invoke_write(op, value)
+        self._execute(effects, depth=0, op=op)
+        return handle
+
+    # -- event entry points ---------------------------------------------------
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        if self.state == CRASHED:
+            return  # a crashed process receives nothing
+        op = envelope.message.op
+        context = self._depths.observe(op, envelope.depth)
+        effects = self.protocol.on_message(envelope.src, envelope.message)
+        self._execute(effects, depth=context, op=op)
+
+    def _on_store_durable(
+        self,
+        token: Hashable,
+        issue_depth: int,
+        op: Optional[OperationId],
+        incarnation: int,
+    ) -> None:
+        if incarnation != self.incarnation or self.state == CRASHED:
+            return
+        depth = self._depths.record_store(op, issue_depth)
+        effects = self.protocol.on_store_complete(token)
+        self._execute(effects, depth=depth, op=op)
+
+    def _on_timer(
+        self,
+        token: Hashable,
+        depth: int,
+        op: Optional[OperationId],
+        incarnation: int,
+    ) -> None:
+        if incarnation != self.incarnation or self.state == CRASHED:
+            return
+        self._timers.pop(token, None)
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.TIMER,
+                pid=self.pid,
+                detail={"token": token},
+            )
+        )
+        effects = self.protocol.on_timer(token)
+        self._execute(effects, depth=depth, op=op)
+
+    # -- effect execution ----------------------------------------------------------
+
+    def _execute(
+        self, effects: List[Effect], depth: int, op: Optional[OperationId]
+    ) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                out_depth = self._outgoing_depth(effect.message, depth, op)
+                self._network.send(self.pid, effect.dst, effect.message, out_depth)
+            elif isinstance(effect, Broadcast):
+                out_depth = self._outgoing_depth(effect.message, depth, op)
+                self._network.broadcast(self.pid, effect.message, out_depth)
+            elif isinstance(effect, Store):
+                self._storage.store(
+                    effect.key,
+                    effect.record,
+                    effect.size,
+                    on_durable=self._make_store_callback(
+                        effect.token, depth, op, self.incarnation
+                    ),
+                    op=op,
+                )
+            elif isinstance(effect, Reply):
+                self._complete_operation(effect, depth)
+            elif isinstance(effect, SetTimer):
+                self._set_timer(effect, depth, op)
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.token, None)
+                if handle is not None:
+                    handle.cancel()
+            elif isinstance(effect, RecoveryComplete):
+                self.state = UP
+                self.ready = True
+                self._trace.emit(
+                    TraceEvent(
+                        time=self._kernel.now,
+                        kind=tracing.RECOVERY_DONE,
+                        pid=self.pid,
+                    )
+                )
+            else:
+                raise ProtocolError(f"unknown effect {type(effect).__name__}")
+
+    def _outgoing_depth(
+        self,
+        message: "Message",
+        handler_depth: int,
+        handler_op: Optional[OperationId],
+    ) -> int:
+        """Causal-log depth to stamp on an outgoing message.
+
+        The handler's depth context belongs to ``handler_op``; a message
+        for a *different* operation (e.g. a parked acknowledgment
+        released by another operation's store completion) must not
+        inherit it -- the paper's metric attributes a log to the
+        operation that performs it, not to operations that merely wait
+        behind it on the device.
+
+        Local log history is folded in for *acknowledgments* only: an
+        ack certifies a log this process performed for the operation
+        and must carry its depth (even when resent after the original
+        was lost).  A retransmitted request, by contrast, carries the
+        depth its round was started at -- the algorithm does not
+        require any further log before it, so incidental process-order
+        (e.g. the writer's own ``written`` log completing before a
+        retransmission) must not inflate the operation's measured cost.
+        """
+        message_op = message.op
+        inherited = handler_depth if message_op == handler_op else 0
+        if not message.is_ack:
+            return inherited
+        return self._depths.outgoing_depth(message_op, inherited)
+
+    def _make_store_callback(
+        self,
+        token: Hashable,
+        depth: int,
+        op: Optional[OperationId],
+        incarnation: int,
+    ) -> Callable[[], None]:
+        def callback() -> None:
+            self._on_store_durable(token, depth, op, incarnation)
+
+        return callback
+
+    def _set_timer(
+        self, effect: SetTimer, depth: int, op: Optional[OperationId]
+    ) -> None:
+        existing = self._timers.pop(effect.token, None)
+        if existing is not None:
+            existing.cancel()
+        handle = self._kernel.schedule(
+            effect.delay, self._on_timer, effect.token, depth, op, self.incarnation
+        )
+        self._timers[effect.token] = handle
+
+    def _complete_operation(self, effect: Reply, depth: int) -> None:
+        handle = self._current_handle
+        if handle is None or handle.op != effect.op:
+            # A reply for an operation that was aborted by a crash of
+            # this process cannot happen (incarnation guards), so this
+            # is a protocol bug worth failing loudly on.
+            raise ProtocolError(
+                f"process {self.pid} replied to unknown operation {effect.op}"
+            )
+        causal = max(depth, self._depths.depth_of(effect.op))
+        handle.done = True
+        handle.result = effect.result
+        handle.completed_at = self._kernel.now
+        handle.causal_logs = causal
+        self._current_handle = None
+        self._recorder.record_reply(effect.op, self.pid, handle.kind, effect.result)
+        self._recorder.record_causal_logs(effect.op, causal)
+        if effect.tag is not None:
+            self._recorder.record_tag(effect.op, effect.tag)
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.REPLY,
+                pid=self.pid,
+                detail={"op": effect.op, "kind": handle.kind, "causal_logs": causal},
+            )
+        )
+        handle._settle()

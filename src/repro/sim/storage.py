@@ -1,0 +1,135 @@
+"""Simulated per-process stable storage.
+
+Models the paper's synchronous file logging (Section V-A): a ``store``
+becomes durable only after the configured latency elapses, and the
+caller is notified at that instant -- exactly the point where an
+algorithm may acknowledge.  Contents survive crashes; *in-flight*
+stores do not (a crash before the latency elapsed leaves the old record
+in place, the conservative reading of a torn synchronous write).
+
+The storage device is sequential, like a single disk head: concurrent
+stores queue behind each other, which matters to protocols that issue a
+responder log while another is still in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.config import StorageConfig
+from repro.common.ids import ProcessId
+from repro.sim import tracing
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import Trace, TraceEvent
+from repro.storage.model import StorageLatencyModel
+
+CompletionCallback = Callable[[], None]
+
+
+class SimStableStorage:
+    """One process's crash-surviving key-value log."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        pid: ProcessId,
+        config: StorageConfig,
+        trace: Trace,
+    ):
+        self._kernel = kernel
+        self._pid = pid
+        self._model = StorageLatencyModel(config)
+        self._trace = trace
+        # Durable records; survives crash() calls by design.
+        self._records: Dict[str, Tuple[Any, ...]] = {}
+        # Sequential device: completion time of the last queued write.
+        self._device_free_at = 0.0
+        self.stores_completed = 0
+        self.stores_lost_to_crash = 0
+        self.bytes_logged = 0
+        # In-flight stores keyed by a local sequence number, so a crash
+        # can void exactly the ones that have not completed yet.
+        self._in_flight: Dict[int, Any] = {}
+        self._next_store_id = 0
+        self._epoch = 0
+
+    @property
+    def records(self) -> Dict[str, Tuple[Any, ...]]:
+        """Live view of the durable records (read-only by convention)."""
+        return self._records
+
+    def store(
+        self,
+        key: str,
+        record: Tuple[Any, ...],
+        size: int,
+        on_durable: CompletionCallback,
+        op: Optional[Any] = None,
+    ) -> None:
+        """Write ``record`` under ``key``; call ``on_durable`` when durable.
+
+        The write is billed the synchronous-log latency and queues
+        behind any store still in progress on this device.  ``op`` is
+        the operation the log belongs to (trace attribution only).
+        """
+        now = self._kernel.now
+        latency = self._model.sample(size, self._kernel.rng)
+        start = max(now, self._device_free_at)
+        done_at = start + latency
+        self._device_free_at = done_at
+        epoch = self._epoch
+        store_id = self._next_store_id
+        self._next_store_id += 1
+        self._trace.emit(
+            TraceEvent(
+                time=now,
+                kind=tracing.STORE_BEGIN,
+                pid=self._pid,
+                detail={"key": key, "size": size, "done_at": done_at, "op": op},
+            )
+        )
+        handle = self._kernel.schedule_at(
+            done_at, self._complete, store_id, key, record, size, on_durable, epoch, op
+        )
+        self._in_flight[store_id] = handle
+
+    def _complete(
+        self,
+        store_id: int,
+        key: str,
+        record: Tuple[Any, ...],
+        size: int,
+        on_durable: CompletionCallback,
+        epoch: int,
+        op: Optional[Any] = None,
+    ) -> None:
+        self._in_flight.pop(store_id, None)
+        if epoch != self._epoch:
+            return  # voided by a crash
+        self._records[key] = record
+        self.stores_completed += 1
+        self.bytes_logged += size
+        self._trace.emit(
+            TraceEvent(
+                time=self._kernel.now,
+                kind=tracing.STORE_END,
+                pid=self._pid,
+                detail={"key": key, "size": size, "op": op},
+            )
+        )
+        on_durable()
+
+    def crash(self) -> None:
+        """Void in-flight stores; durable records are untouched."""
+        for handle in self._in_flight.values():
+            if not handle.cancelled:
+                self.stores_lost_to_crash += 1
+            handle.cancel()
+        self._in_flight.clear()
+        self._epoch += 1
+        # The device itself is immediately reusable after restart.
+        self._device_free_at = self._kernel.now
+
+    def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
+        """Read the durable record under ``key`` (used by recovery)."""
+        return self._records.get(key)

@@ -1,0 +1,136 @@
+"""Structured traces of simulation runs.
+
+Every interesting event in a run -- sends, deliveries, drops, stores,
+invocations, replies, crashes, recoveries -- is appended to a
+:class:`Trace` as a :class:`TraceEvent`.  The trace is the single
+source of truth for:
+
+* the failure injector (triggers fire on trace events, which is how the
+  adversarial schedules of the lower-bound proofs are reproduced);
+* the metrics layer (latencies, message counts, log counts per
+  operation);
+* debugging (a trace pretty-prints as a readable run transcript).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+# Event kinds, kept as plain strings for cheap filtering.
+SEND = "send"
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+STORE_BEGIN = "store_begin"
+STORE_END = "store_end"
+INVOKE = "invoke"
+REPLY = "reply"
+CRASH = "crash"
+RECOVER = "recover"
+RECOVERY_DONE = "recovery_done"
+TIMER = "timer"
+
+ALL_KINDS = (
+    SEND,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    STORE_BEGIN,
+    STORE_END,
+    INVOKE,
+    REPLY,
+    CRASH,
+    RECOVER,
+    RECOVERY_DONE,
+    TIMER,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of a simulation run."""
+
+    time: float
+    kind: str
+    pid: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"{self.time * 1e6:10.1f}us p{self.pid} {self.kind:<13} {parts}"
+
+
+Listener = Callable[[TraceEvent], None]
+
+
+class Trace:
+    """Append-only event log with live listeners.
+
+    Listeners run synchronously at append time, *before* the simulator
+    processes the next event -- that is what lets a failure injector
+    crash a process "immediately after its first store completes",
+    mirroring the instant-precise schedules in the paper's proofs.
+    """
+
+    def __init__(self, capture: bool = True):
+        self._capture = capture
+        self._events: List[TraceEvent] = []
+        self._listeners: List[Listener] = []
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record ``event`` and notify listeners."""
+        if self._capture:
+            self._events.append(event)
+        self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+        for listener in list(self._listeners):
+            listener(event)
+
+    def subscribe(self, listener: Listener) -> Callable[[], None]:
+        """Register ``listener``; returns an unsubscribe function."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All captured events, in emission order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` (works even when not capturing)."""
+        return self._counts.get(kind, 0)
+
+    def filter(
+        self, kind: Optional[str] = None, pid: Optional[int] = None
+    ) -> List[TraceEvent]:
+        """Captured events matching the given kind and/or process."""
+        return [
+            event
+            for event in self._events
+            if (kind is None or event.kind == kind)
+            and (pid is None or event.pid == pid)
+        ]
+
+    def format(self, kinds: Optional[List[str]] = None) -> str:
+        """Human-readable transcript, optionally restricted to ``kinds``."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = [
+            str(event)
+            for event in self._events
+            if wanted is None or event.kind in wanted
+        ]
+        return "\n".join(lines)

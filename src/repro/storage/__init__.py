@@ -1,0 +1,5 @@
+"""Stable-storage latency model shared by the simulator and experiments."""
+
+from repro.storage.model import StorageLatencyModel
+
+__all__ = ["StorageLatencyModel"]

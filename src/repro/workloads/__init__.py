@@ -1,0 +1,19 @@
+"""Workload generation for experiments and soak tests."""
+
+from repro.workloads.generators import (
+    ClientPlan,
+    OperationMix,
+    UniqueValues,
+    WorkloadReport,
+    WorkloadRunner,
+    run_closed_loop,
+)
+
+__all__ = [
+    "ClientPlan",
+    "OperationMix",
+    "UniqueValues",
+    "WorkloadReport",
+    "WorkloadRunner",
+    "run_closed_loop",
+]

@@ -1,0 +1,62 @@
+"""Integration: every ablation produces its promised anomaly."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ALL_ABLATIONS,
+    ablate_majority_quorum,
+    ablate_read_writeback,
+    ablate_recovery_counter,
+    ablate_writer_prelog,
+    format_ablations,
+    run_all_ablations,
+)
+
+
+class TestAblations:
+    def test_writer_prelog_ablation(self):
+        result = ablate_writer_prelog()
+        assert result.demonstrated
+        assert not result.broken_verdict.ok
+        assert result.control_verdict.ok
+
+    def test_read_writeback_ablation(self):
+        result = ablate_read_writeback()
+        assert result.demonstrated
+
+    def test_recovery_counter_ablation(self):
+        result = ablate_recovery_counter()
+        assert result.demonstrated
+
+    def test_majority_quorum_ablation(self):
+        result = ablate_majority_quorum()
+        assert result.demonstrated
+
+    def test_run_all_covers_every_ablation(self):
+        results = run_all_ablations()
+        assert len(results) == len(ALL_ABLATIONS)
+        assert all(result.demonstrated for result in results)
+
+    def test_format_renders_a_row_per_ablation(self):
+        results = run_all_ablations()
+        text = format_ablations(results)
+        for result in results:
+            assert result.name in text
+
+
+class TestForgottenValueDetail:
+    def test_submajority_write_really_completes_then_vanishes(self):
+        from repro.experiments.ablations import _submajority_scenario
+
+        completed, read_result, verdict = _submajority_scenario("broken-submajority")
+        assert completed  # the broken write claimed success
+        assert read_result is None  # and the value was forgotten
+        assert not verdict.ok
+
+    def test_majority_write_waits_out_the_filter(self):
+        from repro.experiments.ablations import _submajority_scenario
+
+        completed, read_result, verdict = _submajority_scenario("persistent")
+        assert not completed  # still open when the filter lifted
+        assert read_result == "v1"
+        assert verdict.ok

@@ -1,0 +1,135 @@
+"""Integration: basic read/write behaviour of every algorithm."""
+
+import pytest
+
+from repro.cluster import SimCluster
+
+ALL_PROTOCOLS = ["abd", "crash-stop", "transient", "persistent", "naive"]
+CRASH_RECOVERY = ["transient", "persistent", "naive"]
+
+
+def started(protocol, n=3, **kwargs):
+    cluster = SimCluster(protocol=protocol, num_processes=n, **kwargs)
+    cluster.start()
+    return cluster
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+class TestEveryProtocol:
+    def test_initial_read_returns_bottom(self, protocol):
+        cluster = started(protocol)
+        assert cluster.read_sync(1) is None
+
+    def test_read_your_own_write(self, protocol):
+        cluster = started(protocol)
+        cluster.write_sync(0, "mine")
+        assert cluster.read_sync(0) == "mine"
+
+    def test_read_someone_elses_write(self, protocol):
+        cluster = started(protocol)
+        cluster.write_sync(0, "shared")
+        assert cluster.read_sync(2) == "shared"
+
+    def test_last_write_wins_sequentially(self, protocol):
+        cluster = started(protocol)
+        for i in range(5):
+            cluster.write_sync(0, f"v{i}")
+        assert cluster.read_sync(1) == "v4"
+
+    def test_sequential_history_is_atomic(self, protocol):
+        cluster = started(protocol)
+        cluster.write_sync(0, "a")
+        cluster.read_sync(1)
+        cluster.write_sync(0, "b")
+        cluster.read_sync(2)
+        assert cluster.check_atomicity().ok
+
+    def test_various_value_types(self, protocol):
+        cluster = started(protocol)
+        for value in [b"bytes", "text", 42, 3.14, ("tu", "ple")]:
+            cluster.write_sync(0, value)
+            assert cluster.read_sync(1) == value
+
+    def test_larger_clusters(self, protocol):
+        cluster = started(protocol, n=7)
+        cluster.write_sync(0, "seven")
+        assert cluster.read_sync(6) == "seven"
+
+
+@pytest.mark.parametrize("protocol", ["crash-stop", "transient", "persistent"])
+class TestMultiWriter:
+    def test_every_process_may_write(self, protocol):
+        cluster = started(protocol, n=5)
+        for pid in range(5):
+            cluster.write_sync(pid, f"from-{pid}")
+        assert cluster.read_sync(0) == "from-4"
+
+    def test_writers_alternating_with_readers(self, protocol):
+        cluster = started(protocol, n=5)
+        for round_no in range(3):
+            for writer in (1, 3):
+                cluster.write_sync(writer, f"r{round_no}-w{writer}")
+                value = cluster.read_sync((writer + 1) % 5)
+                assert value == f"r{round_no}-w{writer}"
+        assert cluster.check_atomicity().ok
+
+
+class TestLatencyShape:
+    """The cost hierarchy of Figure 6 holds operation by operation."""
+
+    def test_write_cost_ordering(self):
+        latencies = {}
+        for protocol in ("crash-stop", "transient", "persistent", "naive"):
+            cluster = started(protocol, n=5)
+            latencies[protocol] = cluster.write_sync(0, b"1234").latency
+        assert (
+            latencies["crash-stop"]
+            < latencies["transient"]
+            < latencies["persistent"]
+            < latencies["naive"]
+        )
+
+    def test_transient_write_saves_one_log_latency(self):
+        lam = SimCluster().config.storage.base_latency
+        transient = started("transient", n=5).write_sync(0, b"x").latency
+        persistent = started("persistent", n=5).write_sync(0, b"x").latency
+        assert persistent - transient == pytest.approx(lam, rel=0.2)
+
+    def test_crash_free_reads_cost_the_same_everywhere(self):
+        # "the execution times would be the same for each algorithm"
+        samples = {}
+        for protocol in ("crash-stop", "transient", "persistent"):
+            cluster = started(protocol, n=5)
+            cluster.write_sync(0, "x")
+            samples[protocol] = cluster.wait(cluster.read(1)).latency
+        assert len({round(s, 9) for s in samples.values()}) == 1
+
+    def test_abd_single_writer_write_is_one_round_trip(self):
+        abd = started("abd", n=5).write_sync(0, b"x").latency
+        mwmr = started("crash-stop", n=5).write_sync(0, b"x").latency
+        assert abd < mwmr * 0.6  # one round trip vs two
+
+
+class TestDeterminism:
+    def test_identical_seeds_produce_identical_runs(self):
+        def run(seed):
+            cluster = started("persistent", seed=seed)
+            handles = [cluster.write_sync(0, f"v{i}") for i in range(3)]
+            return [h.latency for h in handles] + [cluster.now]
+
+        assert run(1234) == run(1234)
+
+    def test_different_seeds_differ_with_jitter(self):
+        from repro.common.config import ClusterConfig, NetworkConfig
+
+        def run(seed):
+            config = ClusterConfig(
+                num_processes=3,
+                network=NetworkConfig(max_jitter=5e-5),
+                seed=seed,
+            )
+            cluster = SimCluster(protocol="persistent", config=config)
+            cluster.start()
+            return cluster.write_sync(0, "x").latency
+
+        assert run(1) != run(2)

@@ -1,0 +1,174 @@
+"""Integration: crash/recovery semantics of the crash-recovery algorithms."""
+
+import pytest
+
+from repro.cluster import SimCluster
+
+CRASH_RECOVERY = ["transient", "persistent", "naive"]
+
+
+def started(protocol, n=3, **kwargs):
+    cluster = SimCluster(protocol=protocol, num_processes=n, **kwargs)
+    cluster.start()
+    return cluster
+
+
+@pytest.mark.parametrize("protocol", CRASH_RECOVERY)
+class TestValuePersistence:
+    def test_value_survives_one_crash(self, protocol):
+        cluster = started(protocol)
+        cluster.write_sync(0, "precious")
+        cluster.crash(2)
+        cluster.recover(2, wait=True)
+        assert cluster.read_sync(2) == "precious"
+
+    def test_value_survives_total_simultaneous_crash(self, protocol):
+        # "does not exclude scenarios where all the processes crash,
+        # possibly at the same time, as long as a majority eventually
+        # recovers" -- Section I-D.
+        cluster = started(protocol)
+        cluster.write_sync(0, "precious")
+        for pid in range(3):
+            cluster.crash(pid)
+        for pid in range(3):
+            cluster.recover(pid)
+        cluster.run_until(
+            lambda: all(node.ready for node in cluster.nodes), timeout=1.0
+        )
+        assert cluster.read_sync(1) == "precious"
+
+    def test_value_survives_majority_recovering_only(self, protocol):
+        cluster = started(protocol, n=5)
+        cluster.write_sync(0, "precious")
+        for pid in range(5):
+            cluster.crash(pid)
+        for pid in (0, 2, 4):  # only a majority comes back
+            cluster.recover(pid)
+        cluster.run_until(
+            lambda: all(cluster.node(pid).ready for pid in (0, 2, 4)), timeout=1.0
+        )
+        assert cluster.read_sync(2) == "precious"
+
+    def test_writes_continue_after_recovery(self, protocol):
+        cluster = started(protocol)
+        cluster.write_sync(0, "before")
+        cluster.crash(0)
+        cluster.recover(0, wait=True)
+        cluster.write_sync(0, "after")
+        assert cluster.read_sync(1) == "after"
+        assert cluster.check_atomicity().ok
+
+    def test_minority_down_does_not_block(self, protocol):
+        cluster = started(protocol, n=5)
+        cluster.crash(3)
+        cluster.crash(4)
+        cluster.write_sync(0, "still-works")
+        assert cluster.read_sync(1) == "still-works"
+
+    def test_operations_block_while_majority_down(self, protocol):
+        cluster = started(protocol, n=3)
+        cluster.crash(1)
+        cluster.crash(2)
+        handle = cluster.write(0, "stuck")
+        cluster.run(duration=0.05)
+        assert not handle.settled
+        # Recovery of one process restores a majority; the operation
+        # (still retransmitting) completes.
+        cluster.recover(1)
+        cluster.wait(handle, timeout=1.0)
+        assert handle.done
+
+
+@pytest.mark.parametrize("protocol", ["persistent", "naive"])
+class TestInterruptedWriteReplay:
+    def test_recovery_finishes_the_interrupted_write(self, protocol):
+        from repro.protocol.messages import WriteRequest
+
+        cluster = started(protocol)
+        cluster.write_sync(0, "v1")
+        w2 = cluster.write(0, "v2")
+        # Withhold the second round from everyone but the writer's own
+        # listener, then crash after the writer logged `writing`.
+        remove = cluster.network.add_filter(
+            lambda src, dst, msg: isinstance(msg, WriteRequest) and msg.op == w2.op
+        )
+        cluster.run_until(
+            lambda: cluster.node(0).storage.retrieve("writing") is not None
+            and cluster.node(0).storage.retrieve("writing")[1] == "v2",
+            timeout=1.0,
+        )
+        cluster.crash(0)
+        remove()
+        # Recovery replays the `writing` record to a majority.
+        cluster.recover(0, wait=True)
+        assert cluster.read_sync(1) == "v2"
+        assert cluster.check_atomicity().ok
+
+    def test_replay_of_finished_write_is_harmless(self, protocol):
+        cluster = started(protocol)
+        cluster.write_sync(0, "old")
+        cluster.write_sync(1, "new")
+        # p0's `writing` record still says "old"; recovery replays it.
+        cluster.crash(0)
+        cluster.recover(0, wait=True)
+        assert cluster.read_sync(2) == "new"
+
+
+class TestTransientRecoveryCounter:
+    def test_rec_is_durable_across_crashes(self):
+        cluster = started("transient")
+        for expected in (1, 2, 3):
+            cluster.crash(1)
+            cluster.recover(1, wait=True)
+            assert cluster.node(1).protocol.rec == expected
+            assert cluster.node(1).storage.retrieve("recovered") == (expected,)
+
+    def test_interrupted_write_never_blocks_future_writes(self):
+        from repro.protocol.messages import WriteRequest
+
+        cluster = started("transient")
+        cluster.write_sync(0, "v1")
+        w2 = cluster.write(0, "v2")
+        remove = cluster.network.add_filter(
+            lambda src, dst, msg: isinstance(msg, WriteRequest) and msg.op == w2.op
+        )
+        cluster.run(duration=0.001)
+        cluster.crash(0)
+        remove()
+        cluster.recover(0, wait=True)
+        cluster.write_sync(0, "v3")
+        assert cluster.read_sync(1) == "v3"
+        assert cluster.check_atomicity(criterion="transient").ok
+
+    def test_tags_strictly_increase_across_recoveries(self):
+        cluster = started("transient")
+        tags = []
+        for i in range(3):
+            handle = cluster.write_sync(0, f"v{i}")
+            tags.append(cluster.recorder.tag_of(handle.op))
+            cluster.crash(0)
+            cluster.recover(0, wait=True)
+        assert tags == sorted(tags)
+        assert len(set(tags)) == 3
+
+
+class TestRecoveryDuringLoad:
+    def test_reader_crash_between_reads_is_safe(self):
+        cluster = started("persistent")
+        cluster.write_sync(0, "x")
+        assert cluster.read_sync(1) == "x"
+        cluster.crash(1)
+        cluster.recover(1, wait=True)
+        assert cluster.read_sync(1) == "x"
+        assert cluster.check_atomicity().ok
+
+    def test_many_cycles_remain_atomic(self):
+        cluster = started("persistent", seed=17)
+        for i in range(8):
+            cluster.write_sync(i % 3, f"v{i}")
+            victim = (i + 1) % 3
+            cluster.crash(victim)
+            cluster.recover(victim, wait=True)
+            cluster.read_sync((i + 2) % 3)
+        verdict = cluster.check_atomicity()
+        assert verdict.ok, cluster.history.format()

@@ -1,0 +1,52 @@
+"""Integration: the Figure 1 runs (persistent vs. transient semantics)."""
+
+from repro.experiments.figure1 import format_figure1, run_persistent, run_transient
+
+
+class TestFigure1:
+    def test_persistent_run_masks_the_crash(self):
+        run = run_persistent()
+        # Recovery finished W(v2); both reads observe it.
+        assert run.read_results == ["v2", "v2"]
+        assert run.persistent_verdict.ok
+        assert run.transient_verdict.ok
+
+    def test_transient_run_exhibits_the_overlapping_write(self):
+        run = run_transient()
+        # The first read misses the orphaned v2 (returns v1); the
+        # second finds it -- both after W(v3) was invoked.
+        assert run.read_results == ["v1", "v2"]
+
+    def test_transient_run_satisfies_weak_completion_only(self):
+        run = run_transient()
+        assert run.transient_verdict.ok
+        assert not run.persistent_verdict.ok
+
+    def test_transient_run_weakly_completes_to_papers_h1_prime(self):
+        # The witness the checker found is the paper's H'_1 ordering:
+        # W(v1), R(v1), W(v2), R(v2), W(v3) -- the pending W(v2) is
+        # linearized (not dropped) between the reads.
+        run = run_transient()
+        verdict = run.transient_verdict
+        assert verdict.dropped == []
+        values = []
+        records = {r.op: r for r in run.history.operations()}
+        for op in verdict.linearization:
+            record = records[op]
+            if record.kind == "write":
+                values.append(("W", record.value))
+            else:
+                values.append(("R", record.result))
+        assert values == [
+            ("W", "v1"),
+            ("R", "v1"),
+            ("W", "v2"),
+            ("R", "v2"),
+            ("W", "v3"),
+        ]
+
+    def test_format_summarizes_both_runs(self):
+        text = format_figure1(run_persistent(), run_transient())
+        assert "persistent" in text
+        assert "transient" in text
+        assert "v1" in text

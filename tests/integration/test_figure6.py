@@ -1,0 +1,110 @@
+"""Integration: the Figure 6 sweeps reproduce the paper's shape."""
+
+import pytest
+
+from repro.common.config import PAPER_LAMBDA
+from repro.experiments.figure6 import (
+    figure6_bottom,
+    figure6_top,
+    format_figure6_bottom,
+    format_figure6_top,
+    linearity_of,
+    read_latency_check,
+)
+
+
+@pytest.fixture(scope="module")
+def top_series():
+    return figure6_top(repeats=10)
+
+
+@pytest.fixture(scope="module")
+def bottom_series():
+    return figure6_bottom(repeats=5, payloads=(4, 8192, 32768, 65000))
+
+
+class TestFigure6Top:
+    def test_cost_hierarchy_at_every_size(self, top_series):
+        for idx in range(len(top_series["crash-stop"])):
+            crash_stop = top_series["crash-stop"][idx].mean_us
+            transient = top_series["transient"][idx].mean_us
+            persistent = top_series["persistent"][idx].mean_us
+            assert crash_stop < transient < persistent
+
+    def test_transient_pays_about_one_lambda_over_crash_stop(self, top_series):
+        lam_us = PAPER_LAMBDA * 1e6
+        for idx in range(len(top_series["crash-stop"])):
+            gap = (
+                top_series["transient"][idx].mean_us
+                - top_series["crash-stop"][idx].mean_us
+            )
+            assert gap == pytest.approx(lam_us, rel=0.15)
+
+    def test_persistent_pays_about_two_lambda_over_crash_stop(self, top_series):
+        lam_us = PAPER_LAMBDA * 1e6
+        for idx in range(len(top_series["crash-stop"])):
+            gap = (
+                top_series["persistent"][idx].mean_us
+                - top_series["crash-stop"][idx].mean_us
+            )
+            assert gap == pytest.approx(2 * lam_us, rel=0.15)
+
+    def test_latency_grows_only_mildly_with_cluster_size(self, top_series):
+        # Majority round trips parallelize: going from 3 to 9
+        # workstations must not add more than ~20%.
+        for algorithm, points in top_series.items():
+            smallest = points[0].mean_us
+            largest = points[-1].mean_us
+            assert largest < smallest * 1.2, algorithm
+
+    def test_paper_ratio_at_five_workstations(self, top_series):
+        # N=5: the paper reports 500/700/900us -- ratios ~1.4 and ~1.8.
+        crash_stop = top_series["crash-stop"][1].mean_us
+        transient = top_series["transient"][1].mean_us
+        persistent = top_series["persistent"][1].mean_us
+        assert transient / crash_stop == pytest.approx(700 / 500, rel=0.1)
+        assert persistent / crash_stop == pytest.approx(900 / 500, rel=0.1)
+
+    def test_format(self, top_series):
+        text = format_figure6_top(top_series)
+        assert "N (workstations)" in text
+        assert "crash-stop" in text
+
+
+class TestFigure6Bottom:
+    def test_latency_is_linear_in_payload(self, bottom_series):
+        for algorithm, points in bottom_series.items():
+            _, _, r_squared = linearity_of(points)
+            assert r_squared > 0.999, algorithm
+
+    def test_slope_reflects_network_plus_disk_cost(self, bottom_series):
+        # Per byte, crash-stop pays network only; transient adds one
+        # disk pass; persistent adds two.
+        slopes = {
+            algorithm: linearity_of(points)[0]
+            for algorithm, points in bottom_series.items()
+        }
+        assert slopes["crash-stop"] < slopes["transient"] < slopes["persistent"]
+
+    def test_hierarchy_preserved_at_all_sizes(self, bottom_series):
+        for idx in range(len(bottom_series["crash-stop"])):
+            assert (
+                bottom_series["crash-stop"][idx].mean_us
+                < bottom_series["transient"][idx].mean_us
+                < bottom_series["persistent"][idx].mean_us
+            )
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            figure6_bottom(payloads=(128 * 1024,))
+
+    def test_format(self, bottom_series):
+        text = format_figure6_bottom(bottom_series)
+        assert "payload (bytes)" in text
+
+
+class TestReadLatencyRemark:
+    def test_crash_free_reads_identical_across_algorithms(self):
+        results = read_latency_check(repeats=5)
+        means = {round(stats.mean_us, 6) for stats in results.values()}
+        assert len(means) == 1

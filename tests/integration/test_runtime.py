@@ -1,0 +1,134 @@
+"""Integration: the asyncio/UDP runtime on localhost.
+
+These tests exercise real sockets, real files and real fsync, so they
+are slower than the simulator tests but prove the protocol code runs
+outside the simulator.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ProcessCrashed, ProtocolError, StorageError, TransportError
+from repro.history.checker import (
+    check_persistent_atomicity,
+    check_transient_atomicity,
+)
+from repro.runtime import LiveCluster
+from repro.runtime.storage import FileStableStorage
+
+
+class TestFileStableStorage:
+    def test_round_trip(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("written", ((3, 1, 0), "value"), size=10)
+        assert storage.retrieve("written") == ((3, 1, 0), "value")
+
+    def test_survives_reload(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("written", ((3, 1, 0), b"bytes"), size=10)
+        fresh = FileStableStorage(tmp_path / "n0")
+        assert fresh.retrieve("written") == ((3, 1, 0), b"bytes")
+
+    def test_latest_record_wins_across_reload(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("k", ("old",), size=1)
+        storage.store("k", ("new",), size=1)
+        storage.reload_from_disk()
+        assert storage.retrieve("k") == ("new",)
+
+    def test_keys_are_sanitized_to_filenames(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("weird/key name", ("v",), size=1)
+        assert storage.retrieve("weird/key name") == ("v",)
+
+    def test_statistics(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("a", (1,), size=100)
+        assert storage.stores_completed == 1
+        assert storage.bytes_logged == 100
+
+
+@pytest.fixture(scope="module")
+def live_cluster():
+    cluster = LiveCluster(protocol="persistent", num_processes=3, op_timeout=15.0)
+    cluster.start()
+    yield cluster
+    cluster.close()
+
+
+class TestLiveCluster:
+    def test_write_then_read(self, live_cluster):
+        live_cluster.write(0, "over-udp")
+        assert live_cluster.read(1) == "over-udp"
+
+    def test_several_writers(self, live_cluster):
+        live_cluster.write(1, "from-1")
+        live_cluster.write(2, "from-2")
+        assert live_cluster.read(0) == "from-2"
+
+    def test_crash_recovery_through_the_filesystem(self, live_cluster):
+        live_cluster.write(0, "durable-on-disk")
+        live_cluster.crash_node(1)
+        live_cluster.recover_node(1)
+        assert live_cluster.read(1) == "durable-on-disk"
+
+    def test_crashed_node_rejects_operations(self, live_cluster):
+        live_cluster.crash_node(2)
+        try:
+            with pytest.raises(Exception):
+                live_cluster.read(2)
+        finally:
+            live_cluster.recover_node(2)
+
+    def test_history_is_atomic(self, live_cluster):
+        live_cluster.write(0, "final-check")
+        live_cluster.read(1)
+        history = live_cluster.recorder.history
+        assert check_persistent_atomicity(history).ok
+
+
+class TestLiveTransient:
+    def test_transient_cluster_round_trip(self, tmp_path):
+        with LiveCluster(
+            protocol="transient", num_processes=3, storage_root=tmp_path
+        ) as cluster:
+            cluster.write(0, "t1")
+            cluster.crash_node(0)
+            cluster.recover_node(0)
+            cluster.write(0, "t2")
+            assert cluster.read(1) == "t2"
+            assert check_transient_atomicity(cluster.recorder.history).ok
+
+    def test_recovery_counter_persisted_to_disk(self, tmp_path):
+        with LiveCluster(
+            protocol="transient", num_processes=3, storage_root=tmp_path
+        ) as cluster:
+            cluster.crash_node(1)
+            cluster.recover_node(1)
+            cluster.crash_node(1)
+            cluster.recover_node(1)
+            record = cluster.nodes[1].storage.retrieve("recovered")
+            assert record == (2,)
+
+
+class TestLiveCausalLogs:
+    def test_write_log_counts_match_the_paper_over_real_io(self, tmp_path):
+        with LiveCluster(
+            protocol="persistent", num_processes=3, storage_root=tmp_path
+        ) as cluster:
+            async def run():
+                handle = await cluster.nodes[0].write("x")
+                return handle.causal_logs
+
+            assert cluster._call(run()) == 2
+
+    def test_transient_write_costs_one_log_over_real_io(self, tmp_path):
+        with LiveCluster(
+            protocol="transient", num_processes=3, storage_root=tmp_path
+        ) as cluster:
+            async def run():
+                handle = await cluster.nodes[0].write("x")
+                return handle.causal_logs
+
+            assert cluster._call(run()) == 1

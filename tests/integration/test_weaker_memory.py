@@ -1,0 +1,120 @@
+"""Integration: the Section VI extension (safe/regular emulations)."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.common.errors import ProtocolError
+from repro.experiments.weaker_memory import (
+    format_costs,
+    format_inversions,
+    measure_costs,
+    new_old_inversion_run,
+)
+from repro.history.regular_checker import check_regularity, check_safety
+
+
+def started(protocol="regular", n=3, **kwargs):
+    cluster = SimCluster(protocol=protocol, num_processes=n, **kwargs)
+    cluster.start()
+    return cluster
+
+
+class TestRegularRegisterBasics:
+    def test_write_then_read(self):
+        cluster = started()
+        cluster.write_sync(0, "r-value")
+        assert cluster.read_sync(1) == "r-value"
+
+    def test_single_writer_enforced(self):
+        cluster = started()
+        with pytest.raises(ProtocolError):
+            cluster.write(1, "not-allowed")
+
+    def test_any_process_may_read(self):
+        cluster = started(n=5)
+        cluster.write_sync(0, "x")
+        for pid in range(5):
+            assert cluster.read_sync(pid) == "x"
+
+    def test_value_survives_crash_recovery(self):
+        cluster = started()
+        cluster.write_sync(0, "durable")
+        cluster.crash(1)
+        cluster.recover(1, wait=True)
+        assert cluster.read_sync(1) == "durable"
+
+    def test_writer_crash_recovery_keeps_writing(self):
+        cluster = started()
+        cluster.write_sync(0, "before")
+        cluster.crash(0)
+        cluster.recover(0, wait=True)
+        cluster.write_sync(0, "after")
+        assert cluster.read_sync(2) == "after"
+
+    def test_histories_satisfy_regularity(self):
+        cluster = started(seed=3)
+        for i in range(5):
+            cluster.write_sync(0, f"v{i}")
+            cluster.read_sync(1)
+        assert check_regularity(cluster.history).ok
+        assert check_safety(cluster.history).ok
+
+
+class TestCosts:
+    def test_regular_read_is_one_round_trip(self):
+        regular = started("regular", n=5)
+        transient = started("transient", n=5)
+        regular.write_sync(0, "x")
+        transient.write_sync(0, "x")
+        r = regular.wait(regular.read(1)).latency
+        t = transient.wait(transient.read(1)).latency
+        # 2 communication steps vs 4.
+        assert r == pytest.approx(t / 2, rel=0.15)
+
+    def test_regular_write_still_logs_once(self):
+        cluster = started("regular", n=5)
+        handle = cluster.write_sync(0, "x")
+        assert handle.causal_logs == 1
+
+    def test_regular_reads_never_log(self):
+        cluster = started("regular", n=5)
+        cluster.write_sync(0, "x")
+        for pid in range(5):
+            assert cluster.wait(cluster.read(pid)).causal_logs == 0
+
+    def test_cost_table(self):
+        rows = measure_costs(repeats=5)
+        table = format_costs(rows)
+        by_name = {row.algorithm: row for row in rows}
+        assert by_name["regular"].write_causal_logs == 1
+        assert by_name["transient"].write_causal_logs == 1
+        assert by_name["persistent"].write_causal_logs == 2
+        # Section VI: the regular emulation saves a round trip on
+        # reads but nothing on write latency vs transient.
+        assert by_name["regular"].read_latency.mean < (
+            by_name["transient"].read_latency.mean * 0.6
+        )
+        assert by_name["regular"].write_latency.mean == pytest.approx(
+            by_name["transient"].write_latency.mean, rel=0.01
+        )
+        assert "regular" in table
+
+
+class TestInversion:
+    def test_regular_emulation_exhibits_new_old_inversion(self):
+        run = new_old_inversion_run("regular")
+        assert run.read_results == ["new", "old"]
+        assert not run.atomic
+        assert run.regular
+        assert run.safe
+
+    @pytest.mark.parametrize("algorithm", ["transient", "persistent"])
+    def test_atomic_emulations_resist_the_same_schedule(self, algorithm):
+        run = new_old_inversion_run(algorithm)
+        assert run.read_results == ["new", "new"]
+        assert run.atomic
+
+    def test_format(self):
+        runs = [new_old_inversion_run(a) for a in ("regular", "transient")]
+        text = format_inversions(runs)
+        assert "regular" in text and "transient" in text

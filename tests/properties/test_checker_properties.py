@@ -1,0 +1,136 @@
+"""Property-based tests for the atomicity checkers.
+
+Strategy: generate histories *from a known-good witness* (a sequential
+execution with chosen overlap) so we know they must be accepted, and
+generate targeted mutations that must be rejected.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.ids import OperationId
+from repro.history.checker import (
+    check_persistent_atomicity,
+    check_transient_atomicity,
+)
+from repro.history.events import Crash, Invoke, Recover, Reply
+from repro.history.history import History
+
+
+def history_from_script(script, seed):
+    """Materialize a history from a sequential script of (pid, kind).
+
+    Each operation executes atomically at its script position (a valid
+    linearization by construction), with reads returning the current
+    value.  A seeded RNG stretches some operations' intervals to create
+    overlap -- which can only make the history *easier* to linearize.
+    """
+    rng = random.Random(seed)
+    events = []
+    time = [0.0]
+    seq = [0]
+    value = [None]
+    busy = set()  # pids with an artificially open op: skip reuse
+
+    def tick():
+        time[0] += 1.0
+        return time[0]
+
+    for pid, kind in script:
+        if pid in busy:
+            continue
+        seq[0] += 1
+        op = OperationId(pid=pid, seq=seq[0])
+        if kind == "write":
+            new_value = f"v{seq[0]}"
+            events.append(
+                Invoke(time=tick(), pid=pid, op=op, kind="write", value=new_value)
+            )
+            value[0] = new_value
+            events.append(Reply(time=tick(), pid=pid, op=op, kind="write"))
+        else:
+            events.append(Invoke(time=tick(), pid=pid, op=op, kind="read"))
+            events.append(
+                Reply(time=tick(), pid=pid, op=op, kind="read", result=value[0])
+            )
+    return History(events)
+
+
+scripts = st.lists(
+    st.tuples(st.integers(0, 2), st.sampled_from(["read", "write"])),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(scripts, st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_sequential_executions_are_always_atomic(script, seed):
+    history = history_from_script(script, seed)
+    assert check_persistent_atomicity(history).ok
+    assert check_transient_atomicity(history).ok
+
+
+@given(scripts, st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_persistent_implies_transient(script, seed):
+    # Persistent atomicity is the stronger criterion; anything it
+    # accepts, transient must accept as well.
+    history = history_from_script(script, seed)
+    if check_persistent_atomicity(history).ok:
+        assert check_transient_atomicity(history).ok
+
+
+@given(scripts, st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_reading_a_never_written_value_is_rejected(script, seed):
+    history = history_from_script(script, seed)
+    pid = 0
+    op = OperationId(pid=pid, seq=999_999)
+    tail_time = (history.events[-1].time if len(history) else 0.0) + 1.0
+    history.append(Invoke(time=tail_time, pid=pid, op=op, kind="read"))
+    history.append(
+        Reply(time=tail_time + 1.0, pid=pid, op=op, kind="read", result="ghost-value")
+    )
+    assert not check_persistent_atomicity(history).ok
+    assert not check_transient_atomicity(history).ok
+
+
+@given(scripts, st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_dropping_a_crashed_write_is_always_allowed(script, seed):
+    # Append a write invocation followed by a crash; with nothing else
+    # observing the value, the history must remain atomic.
+    history = history_from_script(script, seed)
+    pid = 1
+    op = OperationId(pid=pid, seq=888_888)
+    tail_time = (history.events[-1].time if len(history) else 0.0) + 1.0
+    history.append(
+        Invoke(time=tail_time, pid=pid, op=op, kind="write", value="lost-forever")
+    )
+    history.append(Crash(time=tail_time + 1.0, pid=pid))
+    history.append(Recover(time=tail_time + 2.0, pid=pid))
+    assert check_persistent_atomicity(history).ok
+    assert check_transient_atomicity(history).ok
+
+
+@given(scripts, st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_stale_final_read_is_rejected(script, seed):
+    history = history_from_script(script, seed)
+    writes = [r for r in history.operations() if r.kind == "write"]
+    if len(writes) < 2:
+        return
+    stale_value = writes[0].value
+    final_value = writes[-1].value
+    if stale_value == final_value:
+        return
+    pid = 2
+    op = OperationId(pid=pid, seq=777_777)
+    tail_time = history.events[-1].time + 1.0
+    history.append(Invoke(time=tail_time, pid=pid, op=op, kind="read"))
+    history.append(
+        Reply(time=tail_time + 1.0, pid=pid, op=op, kind="read", result=stale_value)
+    )
+    assert not check_persistent_atomicity(history).ok

@@ -1,0 +1,65 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Kernel
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=50))
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    kernel = Kernel()
+    times = []
+    for delay in delays:
+        kernel.schedule(delay, lambda: times.append(kernel.now))
+    kernel.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=10.0), st.booleans()),
+        max_size=40,
+    )
+)
+def test_cancelled_callbacks_never_fire(entries):
+    kernel = Kernel()
+    fired = []
+    expected = 0
+    for index, (delay, cancel) in enumerate(entries):
+        handle = kernel.schedule(delay, fired.append, index)
+        if cancel:
+            handle.cancel()
+        else:
+            expected += 1
+    kernel.run()
+    assert len(fired) == expected
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=30), st.integers(0, 2**32))
+def test_runs_are_deterministic(delays, seed):
+    def run():
+        kernel = Kernel(seed=seed)
+        order = []
+        for index, delay in enumerate(delays):
+            kernel.schedule(delay, order.append, index)
+        kernel.run()
+        return order, kernel.now
+
+    assert run() == run()
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30),
+    st.floats(min_value=0.0, max_value=10.0),
+)
+def test_run_until_time_never_executes_later_events(delays, horizon):
+    kernel = Kernel()
+    fired = []
+    for delay in delays:
+        kernel.schedule(delay, lambda d=delay: fired.append(d))
+    kernel.run(until=horizon)
+    assert all(delay <= horizon for delay in fired)
+    # Everything else still fires afterwards.
+    kernel.run()
+    assert len(fired) == len(delays)

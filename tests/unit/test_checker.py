@@ -1,0 +1,356 @@
+"""Unit tests for the black-box atomicity checkers.
+
+The histories here are hand-crafted to pin down the difference between
+persistent and transient atomicity, including the paper's own examples
+(Figure 1, the sequential histories of the Theorem 1 proof).
+"""
+
+import pytest
+
+from repro.common.ids import OperationId
+from repro.history.checker import (
+    MAX_OPERATIONS,
+    check_history,
+    check_persistent_atomicity,
+    check_transient_atomicity,
+)
+from repro.history.events import Crash, Invoke, Recover, Reply
+from repro.history.history import History
+
+_SEQ = [0]
+
+
+def _op(pid):
+    _SEQ[0] += 1
+    return OperationId(pid=pid, seq=_SEQ[0])
+
+
+class HistoryBuilder:
+    """Small DSL for readable history construction."""
+
+    def __init__(self):
+        self.history = History()
+        self.time = 0.0
+
+    def _tick(self):
+        self.time += 1.0
+        return self.time
+
+    def write(self, pid, value):
+        """A complete write (invocation immediately followed by reply)."""
+        op = _op(pid)
+        self.history.append(
+            Invoke(time=self._tick(), pid=pid, op=op, kind="write", value=value)
+        )
+        self.history.append(
+            Reply(time=self._tick(), pid=pid, op=op, kind="write")
+        )
+        return op
+
+    def read(self, pid, result):
+        """A complete read."""
+        op = _op(pid)
+        self.history.append(Invoke(time=self._tick(), pid=pid, op=op, kind="read"))
+        self.history.append(
+            Reply(time=self._tick(), pid=pid, op=op, kind="read", result=result)
+        )
+        return op
+
+    def begin_write(self, pid, value):
+        op = _op(pid)
+        self.history.append(
+            Invoke(time=self._tick(), pid=pid, op=op, kind="write", value=value)
+        )
+        return op
+
+    def begin_read(self, pid):
+        op = _op(pid)
+        self.history.append(Invoke(time=self._tick(), pid=pid, op=op, kind="read"))
+        return op
+
+    def end(self, op, pid, kind, result=None):
+        self.history.append(
+            Reply(time=self._tick(), pid=pid, op=op, kind=kind, result=result)
+        )
+
+    def crash(self, pid):
+        self.history.append(Crash(time=self._tick(), pid=pid))
+
+    def recover(self, pid):
+        self.history.append(Recover(time=self._tick(), pid=pid))
+
+
+class TestSequentialHistories:
+    def test_empty_history_is_atomic(self):
+        assert check_persistent_atomicity(History()).ok
+
+    def test_write_then_read_of_same_value(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.read(1, "a")
+        assert check_persistent_atomicity(b.history).ok
+
+    def test_read_of_never_written_value_fails(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.read(1, "ghost")
+        assert not check_persistent_atomicity(b.history).ok
+
+    def test_initial_value_readable_before_any_write(self):
+        b = HistoryBuilder()
+        b.read(1, None)
+        assert check_persistent_atomicity(b.history).ok
+
+    def test_custom_initial_value(self):
+        b = HistoryBuilder()
+        b.read(1, 42)
+        assert check_persistent_atomicity(b.history, initial_value=42).ok
+        assert not check_persistent_atomicity(b.history, initial_value=0).ok
+
+    def test_stale_read_after_overwrite_fails(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.write(0, "b")
+        b.read(1, "a")
+        assert not check_persistent_atomicity(b.history).ok
+
+    def test_two_readers_see_writes_in_order(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.read(1, "a")
+        b.write(0, "b")
+        b.read(2, "b")
+        b.read(1, "b")
+        assert check_persistent_atomicity(b.history).ok
+
+
+class TestConcurrentHistories:
+    def test_concurrent_read_may_see_either_side_of_a_write(self):
+        for observed in ("old", "new"):
+            b = HistoryBuilder()
+            b.write(0, "old")
+            w = b.begin_write(0, "new")
+            b.read(1, observed)
+            b.end(w, 0, "write")
+            assert check_persistent_atomicity(b.history).ok, observed
+
+    def test_new_old_inversion_rejected(self):
+        # Two sequential reads concurrent with a write must not go
+        # backwards: once a read returned "new", later reads may not
+        # return "old".
+        b = HistoryBuilder()
+        b.write(0, "old")
+        w = b.begin_write(0, "new")
+        b.read(1, "new")
+        b.read(1, "old")
+        b.end(w, 0, "write")
+        assert not check_persistent_atomicity(b.history).ok
+        assert not check_transient_atomicity(b.history).ok
+
+    def test_concurrent_writes_linearize_in_either_order(self):
+        for final in ("x", "y"):
+            b = HistoryBuilder()
+            wx = b.begin_write(0, "x")
+            wy = b.begin_write(1, "y")
+            b.end(wx, 0, "write")
+            b.end(wy, 1, "write")
+            b.read(2, final)
+            assert check_persistent_atomicity(b.history).ok, final
+
+    def test_readers_must_agree_on_concurrent_write_order(self):
+        # r1 sees y-then-x while r2 sees x-then-y: no single order.
+        b = HistoryBuilder()
+        wx = b.begin_write(0, "x")
+        wy = b.begin_write(1, "y")
+        b.end(wx, 0, "write")
+        b.end(wy, 1, "write")
+        b.read(2, "x")
+        b.read(2, "y")
+        b.read(3, "y")
+        b.read(3, "x")
+        assert not check_persistent_atomicity(b.history).ok
+
+
+class TestPendingOperations:
+    def test_pending_write_may_be_absent(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.begin_write(0, "lost")
+        b.crash(0)
+        b.read(1, "a")
+        assert check_persistent_atomicity(b.history).ok
+
+    def test_pending_write_may_take_effect(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.begin_write(0, "maybe")
+        b.crash(0)
+        b.read(1, "maybe")
+        assert check_persistent_atomicity(b.history).ok
+
+    def test_pending_write_cannot_flicker(self):
+        # Once dropped (a later read saw the old value), the pending
+        # write may not surface afterwards.
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.begin_write(0, "maybe")
+        b.crash(0)
+        b.read(1, "a")
+        b.read(1, "maybe")
+        b.read(1, "a")
+        assert not check_persistent_atomicity(b.history).ok
+        assert not check_transient_atomicity(b.history).ok
+
+    def test_pending_read_never_constrains(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.begin_read(1)
+        b.crash(1)
+        b.read(2, "a")
+        assert check_persistent_atomicity(b.history).ok
+
+    def test_run_cut_short_write_may_complete_late(self):
+        # No crash: the run simply ended mid-write; the write may
+        # still be linearized (standard linearizability of pending ops).
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.begin_write(0, "b")
+        b.read(1, "b")
+        assert check_persistent_atomicity(b.history).ok
+
+
+class TestPersistentVsTransient:
+    def make_figure1_transient_history(self):
+        """W(v1); crash mid-W(v2); recover; reads v1 then v2 during W(v3)."""
+        b = HistoryBuilder()
+        b.write(0, "v1")
+        b.begin_write(0, "v2")
+        b.crash(0)
+        b.recover(0)
+        w3 = b.begin_write(0, "v3")
+        b.read(1, "v1")
+        b.read(1, "v2")
+        b.end(w3, 0, "write")
+        return b.history
+
+    def test_figure1_overlap_satisfies_transient_only(self):
+        history = self.make_figure1_transient_history()
+        assert check_transient_atomicity(history).ok
+        assert not check_persistent_atomicity(history).ok
+
+    def test_interrupted_write_may_surface_after_next_write_only_in_transient(self):
+        # Reads return v2 after W(v3) completed.  Transient accepts:
+        # weak completion lets W(v2) overlap W(v3), so the witness is
+        # W(v1) < W(v3) < W(v2) < R(v2) < R(v2).  Persistent rejects:
+        # its completion bound forces W(v2) before W(v3)'s invocation,
+        # making every read of v2 after W(v3) stale; dropping W(v2)
+        # leaves the reads unexplained.
+        b = HistoryBuilder()
+        b.write(0, "v1")
+        b.begin_write(0, "v2")
+        b.crash(0)
+        b.recover(0)
+        b.write(0, "v3")
+        b.read(1, "v2")
+        b.read(1, "v2")
+        history = b.history
+        assert check_transient_atomicity(history).ok
+        assert not check_persistent_atomicity(history).ok
+
+    def test_overlap_window_full_sequence_stays_transient(self):
+        # Figure 1's overlap extended with a final read of v3 after the
+        # write completes: still transient atomic (order W1 R(v1) W2
+        # R(v2) W3 R(v3)), still not persistent atomic.
+        b = HistoryBuilder()
+        b.write(0, "v1")
+        b.begin_write(0, "v2")
+        b.crash(0)
+        b.recover(0)
+        w3 = b.begin_write(0, "v3")
+        b.read(1, "v1")
+        b.read(1, "v2")
+        b.end(w3, 0, "write")
+        b.read(1, "v3")
+        assert check_transient_atomicity(b.history).ok
+        assert not check_persistent_atomicity(b.history).ok
+
+    def test_interrupted_write_followed_by_reads_only(self):
+        # The writer recovers and only reads.  The persistent bound is
+        # the *next invocation of the same process* -- the read itself
+        # -- so W(v2) must either complete before the first read
+        # (which returned v1: contradiction) or stay absent (then the
+        # second read's v2 is unexplained): not persistent atomic.
+        # Transient's bound is the next *write reply*; there is none,
+        # so v2 may surface between the reads: transient atomic.
+        b = HistoryBuilder()
+        b.write(0, "v1")
+        b.begin_write(0, "v2")
+        b.crash(0)
+        b.recover(0)
+        b.read(0, "v1")
+        b.read(0, "v2")
+        assert not check_persistent_atomicity(b.history).ok
+        assert check_transient_atomicity(b.history).ok
+
+    def test_paper_theorem1_sequential_candidates(self):
+        # The proof of Theorem 1 lists the legal sequential histories
+        # compatible with run rho1; spot-check two of them.
+        b = HistoryBuilder()
+        b.write(0, "v1")
+        b.read(1, "v1")
+        b.read(1, "v1")
+        b.write(0, "v3")
+        assert check_persistent_atomicity(b.history).ok
+
+        b = HistoryBuilder()
+        b.write(0, "v1")
+        b.write(0, "v2")
+        b.read(1, "v2")
+        b.write(0, "v3")
+        b.read(1, "v3")
+        assert check_persistent_atomicity(b.history).ok
+
+
+class TestCheckerInterface:
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValueError):
+            check_history(History(), "eventual")
+
+    def test_verdict_exposes_witness(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.read(1, "a")
+        verdict = check_persistent_atomicity(b.history)
+        assert verdict.ok
+        assert len(verdict.linearization) == 2
+        assert verdict.dropped == []
+
+    def test_verdict_reports_dropped_pending_ops(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.begin_write(0, "lost")
+        b.crash(0)
+        b.read(1, "a")
+        verdict = check_persistent_atomicity(b.history)
+        assert verdict.ok
+        assert len(verdict.dropped) == 1
+
+    def test_failure_verdict_is_falsy_with_reason(self):
+        b = HistoryBuilder()
+        b.write(0, "a")
+        b.read(1, "ghost")
+        verdict = check_persistent_atomicity(b.history)
+        assert not verdict
+        assert verdict.reason
+
+    def test_operation_cap_guards_the_exponential_search(self):
+        b = HistoryBuilder()
+        for i in range(MAX_OPERATIONS + 1):
+            b.write(0, i)
+        with pytest.raises(ValueError):
+            check_persistent_atomicity(b.history)
+
+    def test_malformed_history_rejected(self):
+        history = History([Recover(time=0.0, pid=0)])
+        with pytest.raises(Exception):
+            check_persistent_atomicity(history)

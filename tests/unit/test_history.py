@@ -1,0 +1,177 @@
+"""Unit tests for histories and well-formedness."""
+
+import pytest
+
+from repro.common.ids import OperationId
+from repro.history.events import Crash, Invoke, Recover, Reply
+from repro.history.history import History, MalformedHistoryError
+
+
+def op(pid, seq):
+    return OperationId(pid=pid, seq=seq)
+
+
+def build(*events):
+    history = History()
+    for event in events:
+        history.append(event)
+    return history
+
+
+class TestOperationExtraction:
+    def test_matched_pairs_become_completed_records(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="v"),
+            Reply(time=1.0, pid=0, op=op(0, 1), kind="write"),
+        )
+        records = history.operations()
+        assert len(records) == 1
+        record = records[0]
+        assert not record.pending
+        assert record.value == "v"
+        assert record.latency == pytest.approx(1.0)
+
+    def test_unmatched_invocation_is_pending(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="v"),
+            Crash(time=1.0, pid=0),
+        )
+        record = history.operations()[0]
+        assert record.pending
+        assert record.latency is None
+        assert history.pending_operations() == [record]
+        assert history.completed_operations() == []
+
+    def test_read_results_are_captured(self):
+        history = build(
+            Invoke(time=0.0, pid=1, op=op(1, 1), kind="read"),
+            Reply(time=1.0, pid=1, op=op(1, 1), kind="read", result="x"),
+        )
+        assert history.operations()[0].result == "x"
+
+    def test_interleaved_operations_from_different_processes(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Invoke(time=0.5, pid=1, op=op(1, 2), kind="read"),
+            Reply(time=1.0, pid=0, op=op(0, 1), kind="write"),
+            Reply(time=1.5, pid=1, op=op(1, 2), kind="read", result="a"),
+        )
+        records = history.operations()
+        assert len(records) == 2
+        assert [record.pid for record in records] == [0, 1]
+
+    def test_reply_without_invocation_raises(self):
+        history = build(Reply(time=0.0, pid=0, op=op(0, 1), kind="write"))
+        with pytest.raises(MalformedHistoryError):
+            history.operations()
+
+    def test_duplicate_invocation_raises(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Invoke(time=1.0, pid=0, op=op(0, 1), kind="write", value="a"),
+        )
+        with pytest.raises(MalformedHistoryError):
+            history.operations()
+
+
+class TestWellFormedness:
+    def test_sequential_process_is_well_formed(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Reply(time=1.0, pid=0, op=op(0, 1), kind="write"),
+            Invoke(time=2.0, pid=0, op=op(0, 2), kind="read"),
+            Reply(time=3.0, pid=0, op=op(0, 2), kind="read", result="a"),
+        )
+        assert history.is_well_formed()
+
+    def test_crash_recovery_cycle_is_well_formed(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Crash(time=1.0, pid=0),
+            Recover(time=2.0, pid=0),
+            Invoke(time=3.0, pid=0, op=op(0, 2), kind="read"),
+            Reply(time=4.0, pid=0, op=op(0, 2), kind="read"),
+        )
+        assert history.is_well_formed()
+
+    def test_overlapping_invocations_by_one_process_rejected(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Invoke(time=1.0, pid=0, op=op(0, 2), kind="read"),
+        )
+        assert not history.is_well_formed()
+
+    def test_recovery_without_crash_rejected(self):
+        history = build(Recover(time=0.0, pid=0))
+        assert not history.is_well_formed()
+
+    def test_double_crash_rejected(self):
+        history = build(Crash(time=0.0, pid=0), Crash(time=1.0, pid=0))
+        assert not history.is_well_formed()
+
+    def test_invocation_while_crashed_rejected(self):
+        history = build(
+            Crash(time=0.0, pid=0),
+            Invoke(time=1.0, pid=0, op=op(0, 1), kind="read"),
+        )
+        assert not history.is_well_formed()
+
+    def test_reply_not_matching_open_invocation_rejected(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Reply(time=1.0, pid=0, op=op(0, 9), kind="write"),
+        )
+        assert not history.is_well_formed()
+
+    def test_crash_closes_the_open_invocation(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Crash(time=1.0, pid=0),
+            Recover(time=2.0, pid=0),
+            Invoke(time=3.0, pid=0, op=op(0, 2), kind="write", value="b"),
+            Reply(time=4.0, pid=0, op=op(0, 2), kind="write"),
+        )
+        assert history.is_well_formed()
+
+
+class TestViews:
+    def test_restricted_to_keeps_only_one_process(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Invoke(time=0.5, pid=1, op=op(1, 2), kind="read"),
+            Crash(time=1.0, pid=1),
+        )
+        local = history.restricted_to(1)
+        assert len(local) == 2
+        assert all(event.pid == 1 for event in local)
+
+    def test_object_events_drop_crash_and_recovery(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Crash(time=1.0, pid=0),
+            Recover(time=2.0, pid=0),
+        )
+        assert len(history.object_events()) == 1
+
+    def test_format_is_readable(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Reply(time=1e-3, pid=0, op=op(0, 1), kind="write"),
+        )
+        text = history.format()
+        assert "inv W('a')" in text
+        assert "ret W -> ok" in text
+
+
+class TestEventValidation:
+    def test_invoke_requires_valid_kind(self):
+        with pytest.raises(ValueError):
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="delete")
+
+    def test_invoke_requires_operation_id(self):
+        with pytest.raises(ValueError):
+            Invoke(time=0.0, pid=0, kind="read")
+
+    def test_reply_requires_operation_id(self):
+        with pytest.raises(ValueError):
+            Reply(time=0.0, pid=0, kind="read")

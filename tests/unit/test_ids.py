@@ -1,0 +1,42 @@
+"""Unit tests for process and operation identifiers."""
+
+import threading
+
+from repro.common.ids import OperationId, make_operation_id
+
+
+class TestOperationIds:
+    def test_ids_are_unique(self):
+        ids = {make_operation_id(0) for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_id_carries_invoking_pid(self):
+        assert make_operation_id(3).pid == 3
+
+    def test_ids_are_ordered(self):
+        first = make_operation_id(1)
+        second = make_operation_id(1)
+        assert first < second
+
+    def test_equality_is_structural(self):
+        assert OperationId(pid=1, seq=5) == OperationId(pid=1, seq=5)
+        assert OperationId(pid=1, seq=5) != OperationId(pid=2, seq=5)
+
+    def test_str_names_process_and_sequence(self):
+        assert str(OperationId(pid=2, seq=9)) == "op(p2#9)"
+
+    def test_concurrent_minting_stays_unique(self):
+        results = []
+        lock = threading.Lock()
+
+        def mint():
+            local = [make_operation_id(0) for _ in range(200)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == len(results)

@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Kernel().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(0.3, fired.append, "c")
+        kernel.schedule(0.1, fired.append, "a")
+        kernel.schedule(0.2, fired.append, "b")
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        kernel = Kernel()
+        fired = []
+        for label in "abcde":
+            kernel.schedule(1.0, fired.append, label)
+        kernel.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.schedule(2.5, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [2.5]
+        assert kernel.now == 2.5
+
+    def test_nested_scheduling_during_callbacks(self):
+        kernel = Kernel()
+        fired = []
+
+        def outer():
+            fired.append(("outer", kernel.now))
+            kernel.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", kernel.now))
+
+        kernel.schedule(1.0, outer)
+        kernel.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_zero_delay_allowed(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(0.0, fired.append, 1)
+        kernel.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.schedule_at(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [5.0]
+
+    def test_schedule_at_in_the_past_rejected(self):
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        kernel = Kernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        kernel.run()
+
+    def test_pending_events_excludes_cancelled(self):
+        kernel = Kernel()
+        keep = kernel.schedule(1.0, lambda: None)
+        drop = kernel.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert kernel.pending_events == 1
+        keep.cancel()
+        assert kernel.pending_events == 0
+
+
+class TestRunBounds:
+    def test_run_until_time_bound_stops_early(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "a")
+        kernel.schedule(3.0, fired.append, "b")
+        kernel.run(until=2.0)
+        assert fired == ["a"]
+        assert kernel.now == 2.0
+        kernel.run()
+        assert fired == ["a", "b"]
+
+    def test_run_with_event_budget(self):
+        kernel = Kernel()
+        fired = []
+        for i in range(10):
+            kernel.schedule(float(i), fired.append, i)
+        kernel.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_run_until_predicate(self):
+        kernel = Kernel()
+        count = []
+        for i in range(10):
+            kernel.schedule(float(i), count.append, i)
+        ok = kernel.run_until(lambda: len(count) >= 3)
+        assert ok
+        assert len(count) == 3
+
+    def test_run_until_returns_false_when_queue_drains(self):
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        assert not kernel.run_until(lambda: False, max_events=100)
+
+    def test_run_until_respects_timeout(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(10.0, fired.append, "late")
+        ok = kernel.run_until(lambda: bool(fired), timeout=1.0)
+        assert not ok
+        assert fired == []
+        assert kernel.now == pytest.approx(1.0)
+
+    def test_events_processed_counter(self):
+        kernel = Kernel()
+        for i in range(5):
+            kernel.schedule(float(i), lambda: None)
+        kernel.run()
+        assert kernel.events_processed == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_random_stream(self):
+        a = Kernel(seed=42)
+        b = Kernel(seed=42)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert Kernel(seed=1).rng.random() != Kernel(seed=2).rng.random()

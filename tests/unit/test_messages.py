@@ -1,0 +1,53 @@
+"""Unit tests for wire messages."""
+
+from repro.common.ids import make_operation_id
+from repro.common.timestamps import Tag
+from repro.protocol.messages import (
+    HEADER_SIZE,
+    ReadAck,
+    ReadQuery,
+    SnAck,
+    SnQuery,
+    WriteAck,
+    WriteRequest,
+)
+
+
+class TestMessageSizes:
+    def test_queries_cost_only_the_header(self):
+        op = make_operation_id(0)
+        assert SnQuery(op=op, round_no=1).size == HEADER_SIZE
+        assert ReadQuery(op=op, round_no=1).size == HEADER_SIZE
+        assert SnAck(op=op, round_no=1, tag=Tag(1, 0)).size == HEADER_SIZE
+        assert WriteAck(op=op, round_no=1, tag=Tag(1, 0)).size == HEADER_SIZE
+
+    def test_value_carrying_messages_bill_the_payload(self):
+        op = make_operation_id(0)
+        w = WriteRequest(op=op, round_no=1, tag=Tag(1, 0), value=b"x" * 100)
+        assert w.size == HEADER_SIZE + 100
+        r = ReadAck(op=op, round_no=1, tag=Tag(1, 0), value=b"y" * 50)
+        assert r.size == HEADER_SIZE + 50
+
+    def test_bottom_value_is_free(self):
+        op = make_operation_id(0)
+        w = WriteRequest(op=op, round_no=1, tag=Tag(0, 0), value=None)
+        assert w.size == HEADER_SIZE
+
+
+class TestMessageIdentity:
+    def test_kind_names_match_class(self):
+        op = make_operation_id(0)
+        assert SnQuery(op=op, round_no=1).kind == "SnQuery"
+        assert WriteRequest(op=op, round_no=1, tag=Tag(1, 0), value=1).kind == (
+            "WriteRequest"
+        )
+
+    def test_messages_are_immutable_and_comparable(self):
+        op = make_operation_id(0)
+        a = SnAck(op=op, round_no=2, tag=Tag(3, 1))
+        b = SnAck(op=op, round_no=2, tag=Tag(3, 1))
+        assert a == b
+
+    def test_recovery_messages_carry_no_operation(self):
+        w = WriteRequest(op=None, round_no=1, tag=Tag(1, 0), value="v")
+        assert w.op is None

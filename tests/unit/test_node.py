@@ -1,0 +1,166 @@
+"""Unit tests for the simulated node: lifecycle, guards, incarnations."""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import (
+    NotRecoveredError,
+    ProcessCrashed,
+    ProtocolError,
+)
+from repro.cluster import SimCluster
+
+
+def started_cluster(protocol="persistent", n=3, **kwargs):
+    cluster = SimCluster(protocol=protocol, num_processes=n, **kwargs)
+    cluster.start()
+    return cluster
+
+
+class TestLifecycle:
+    def test_nodes_ready_after_start(self):
+        cluster = started_cluster()
+        assert all(node.ready for node in cluster.nodes)
+        assert all(not node.crashed for node in cluster.nodes)
+
+    def test_crash_marks_node_down(self):
+        cluster = started_cluster()
+        cluster.crash(1)
+        node = cluster.node(1)
+        assert node.crashed
+        assert not node.ready
+        assert node.crash_count == 1
+
+    def test_double_crash_rejected(self):
+        cluster = started_cluster()
+        cluster.crash(1)
+        with pytest.raises(ProcessCrashed):
+            cluster.crash(1)
+
+    def test_recover_requires_crash(self):
+        cluster = started_cluster()
+        with pytest.raises(ProtocolError):
+            cluster.recover(0)
+
+    def test_recovery_completes_and_node_is_usable(self):
+        cluster = started_cluster()
+        cluster.write_sync(0, "x")
+        cluster.crash(1)
+        cluster.recover(1, wait=True)
+        assert cluster.node(1).ready
+        assert cluster.read_sync(1) == "x"
+
+    def test_incarnation_increases_per_crash(self):
+        cluster = started_cluster()
+        node = cluster.node(2)
+        start = node.incarnation
+        cluster.crash(2)
+        cluster.recover(2, wait=True)
+        cluster.crash(2)
+        cluster.recover(2, wait=True)
+        assert node.incarnation == start + 2
+
+
+class TestInvocationGuards:
+    def test_invoke_on_crashed_process_rejected(self):
+        cluster = started_cluster()
+        cluster.crash(0)
+        with pytest.raises(ProcessCrashed):
+            cluster.write(0, "x")
+
+    def test_invoke_during_recovery_rejected(self):
+        cluster = started_cluster()
+        cluster.crash(0)
+        cluster.node(0).recover()  # do not wait for completion
+        with pytest.raises(NotRecoveredError):
+            cluster.read(0)
+
+    def test_second_concurrent_invocation_rejected(self):
+        cluster = started_cluster()
+        cluster.write(0, "x")  # in flight
+        with pytest.raises(ProtocolError):
+            cluster.read(0)
+
+    def test_new_operation_allowed_after_completion(self):
+        cluster = started_cluster()
+        cluster.write_sync(0, "x")
+        cluster.write_sync(0, "y")
+        assert cluster.read_sync(1) == "y"
+
+
+class TestCrashAbort:
+    def test_in_flight_operation_aborts_on_crash(self):
+        cluster = started_cluster()
+        handle = cluster.write(0, "doomed")
+        cluster.crash(0)
+        assert handle.aborted
+        assert not handle.done
+
+    def test_aborted_operation_is_pending_in_history(self):
+        cluster = started_cluster()
+        cluster.write(0, "doomed")
+        cluster.crash(0)
+        pending = cluster.history.pending_operations()
+        assert len(pending) == 1
+        assert pending[0].value == "doomed"
+
+    def test_callbacks_fire_on_abort(self):
+        cluster = started_cluster()
+        handle = cluster.write(0, "doomed")
+        seen = []
+        handle.add_callback(seen.append)
+        cluster.crash(0)
+        assert seen == [handle]
+
+    def test_callback_fires_immediately_if_already_settled(self):
+        cluster = started_cluster()
+        handle = cluster.write_sync(0, "x")
+        seen = []
+        handle.add_callback(seen.append)
+        assert seen == [handle]
+
+
+class TestIncarnationGuards:
+    def test_stale_timers_do_not_fire_after_recovery(self):
+        # Crash with an operation (and its retransmission timer) in
+        # flight; recover; the old timer must not disturb the new
+        # incarnation.
+        cluster = started_cluster()
+        cluster.write(0, "doomed")
+        cluster.crash(0)
+        cluster.recover(0, wait=True)
+        cluster.write_sync(0, "fresh")  # would break if stale state leaked
+        assert cluster.read_sync(1) == "fresh"
+
+    def test_repeated_crash_recover_cycles(self):
+        cluster = started_cluster()
+        for i in range(5):
+            cluster.write_sync(0, f"v{i}")
+            cluster.crash(0)
+            cluster.recover(0, wait=True)
+        assert cluster.read_sync(0) == "v4"
+        assert cluster.check_atomicity().ok
+
+
+class TestHistoryRecording:
+    def test_crash_and_recovery_events_recorded(self):
+        cluster = started_cluster()
+        cluster.crash(1)
+        cluster.recover(1, wait=True)
+        kinds = [type(e).__name__ for e in cluster.history.events]
+        assert "Crash" in kinds
+        assert "Recover" in kinds
+
+    def test_reply_carries_latency_and_causal_logs(self):
+        cluster = started_cluster()
+        handle = cluster.write_sync(0, "x")
+        assert handle.latency > 0
+        assert handle.causal_logs == 2  # persistent write
+
+    def test_history_is_well_formed(self):
+        cluster = started_cluster()
+        cluster.write_sync(0, "x")
+        cluster.crash(0)
+        cluster.recover(0, wait=True)
+        cluster.read_sync(0)
+        cluster.history.assert_well_formed()

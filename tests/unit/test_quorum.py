@@ -1,0 +1,103 @@
+"""Unit tests for quorum round tracking."""
+
+import pytest
+
+from repro.common.timestamps import Tag
+from repro.protocol.quorum import PhaseClock, RoundTracker, highest_tagged
+
+
+class TestRoundTracker:
+    def test_quorum_reached_exactly_once(self):
+        tracker = RoundTracker(quorum_size=2)
+        round_no = tracker.begin()
+        assert not tracker.record(round_no, 0, "a")
+        assert tracker.record(round_no, 1, "b")  # completes the quorum
+        assert not tracker.record(round_no, 2, "c")  # late ack
+
+    def test_duplicate_responders_count_once(self):
+        tracker = RoundTracker(quorum_size=2)
+        round_no = tracker.begin()
+        assert not tracker.record(round_no, 0, "a")
+        assert not tracker.record(round_no, 0, "a-again")
+        assert tracker.responders == 1
+
+    def test_stale_round_acks_ignored(self):
+        tracker = RoundTracker(quorum_size=2)
+        old_round = tracker.begin()
+        tracker.record(old_round, 0, "a")
+        new_round = tracker.begin()
+        assert not tracker.record(old_round, 1, "stale")
+        assert tracker.responders == 0
+        assert tracker.record(new_round, 1, "x") is False
+        assert tracker.record(new_round, 2, "y") is True
+
+    def test_round_numbers_increase(self):
+        tracker = RoundTracker(quorum_size=1)
+        first = tracker.begin()
+        second = tracker.begin()
+        assert second == first + 1
+
+    def test_first_response_per_responder_is_kept(self):
+        tracker = RoundTracker(quorum_size=3)
+        round_no = tracker.begin()
+        tracker.record(round_no, 0, "first")
+        tracker.record(round_no, 0, "second")
+        assert dict(tracker.responses())[0] == "first"
+
+    def test_responses_sorted_by_pid(self):
+        tracker = RoundTracker(quorum_size=3)
+        round_no = tracker.begin()
+        tracker.record(round_no, 2, "c")
+        tracker.record(round_no, 0, "a")
+        tracker.record(round_no, 1, "b")
+        assert tracker.response_values() == ["a", "b", "c"]
+
+    def test_abort_discards_round(self):
+        tracker = RoundTracker(quorum_size=2)
+        round_no = tracker.begin()
+        tracker.record(round_no, 0, "a")
+        tracker.abort()
+        assert not tracker.active
+        assert not tracker.record(round_no, 1, "b")
+
+    def test_rejects_zero_quorum(self):
+        with pytest.raises(ValueError):
+            RoundTracker(quorum_size=0)
+
+    def test_inactive_until_begun(self):
+        tracker = RoundTracker(quorum_size=1)
+        assert not tracker.active
+        assert not tracker.record(0, 0, "x")
+
+
+class TestPhaseClock:
+    def test_starts_idle(self):
+        assert PhaseClock().is_idle()
+
+    def test_transitions(self):
+        clock = PhaseClock()
+        clock.become(PhaseClock.QUERY)
+        assert clock.phase == "query"
+        clock.become(PhaseClock.PROPAGATE)
+        assert not clock.is_idle()
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            PhaseClock().become("warp")
+
+
+class TestHighestTagged:
+    def test_picks_largest_tag(self):
+        responses = [
+            (0, (Tag(1, 0), "old")),
+            (1, (Tag(3, 1), "new")),
+            (2, (Tag(2, 2), "mid")),
+        ]
+        assert highest_tagged(responses) == (Tag(3, 1), "new")
+
+    def test_empty_responses_give_none(self):
+        assert highest_tagged([]) is None
+
+    def test_tie_keeps_first_in_responder_order(self):
+        responses = [(0, (Tag(2, 1), "a")), (1, (Tag(2, 1), "b"))]
+        assert highest_tagged(responses) == (Tag(2, 1), "a")

@@ -1,0 +1,76 @@
+"""Unit tests for the protocol registry and the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    NotRecoveredError,
+    OperationAborted,
+    ProcessCrashed,
+    ProtocolError,
+    ReproError,
+    StorageError,
+    TransportError,
+)
+from repro.protocol.abd import AbdSwmrProtocol
+from repro.protocol.broken import BROKEN_PROTOCOLS
+from repro.protocol.crash_stop import CrashStopMwmrProtocol
+from repro.protocol.naive import NaiveLoggingProtocol
+from repro.protocol.persistent import PersistentAtomicProtocol
+from repro.protocol.registry import ALL_PROTOCOLS, PROTOCOLS, get_protocol_class
+from repro.protocol.transient import TransientAtomicProtocol
+
+
+class TestRegistry:
+    def test_production_protocols_present(self):
+        assert PROTOCOLS["persistent"] is PersistentAtomicProtocol
+        assert PROTOCOLS["transient"] is TransientAtomicProtocol
+        assert PROTOCOLS["crash-stop"] is CrashStopMwmrProtocol
+        assert PROTOCOLS["abd"] is AbdSwmrProtocol
+        assert PROTOCOLS["naive"] is NaiveLoggingProtocol
+
+    def test_broken_variants_require_opt_in(self):
+        with pytest.raises(ConfigurationError):
+            get_protocol_class("broken-no-prelog")
+        cls = get_protocol_class("broken-no-prelog", include_broken=True)
+        assert cls.name == "broken-no-prelog"
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(ConfigurationError, match="persistent"):
+            get_protocol_class("paxos")
+
+    def test_all_broken_variants_registered(self):
+        for name in BROKEN_PROTOCOLS:
+            assert name in ALL_PROTOCOLS
+
+    def test_names_are_consistent(self):
+        for name, cls in ALL_PROTOCOLS.items():
+            assert cls.name == name
+
+    def test_recovery_support_flags(self):
+        assert PersistentAtomicProtocol.supports_recovery
+        assert TransientAtomicProtocol.supports_recovery
+        assert not CrashStopMwmrProtocol.supports_recovery
+        assert not AbdSwmrProtocol.supports_recovery
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            NotRecoveredError,
+            OperationAborted,
+            ProcessCrashed,
+            ProtocolError,
+            StorageError,
+            TransportError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)

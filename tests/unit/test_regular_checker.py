@@ -1,0 +1,161 @@
+"""Unit tests for the safety/regularity checkers."""
+
+from repro.common.ids import OperationId
+from repro.history.events import Crash, Invoke, Reply
+from repro.history.history import History
+from repro.history.regular_checker import check_regularity, check_safety
+
+_SEQ = [0]
+
+
+def _op(pid):
+    _SEQ[0] += 1
+    return OperationId(pid=pid, seq=_SEQ[0])
+
+
+class Builder:
+    def __init__(self):
+        self.history = History()
+        self.time = 0.0
+
+    def _tick(self):
+        self.time += 1.0
+        return self.time
+
+    def write(self, pid, value):
+        op = _op(pid)
+        self.history.append(
+            Invoke(time=self._tick(), pid=pid, op=op, kind="write", value=value)
+        )
+        self.history.append(Reply(time=self._tick(), pid=pid, op=op, kind="write"))
+        return op
+
+    def read(self, pid, result):
+        op = _op(pid)
+        self.history.append(Invoke(time=self._tick(), pid=pid, op=op, kind="read"))
+        self.history.append(
+            Reply(time=self._tick(), pid=pid, op=op, kind="read", result=result)
+        )
+        return op
+
+    def begin_write(self, pid, value):
+        op = _op(pid)
+        self.history.append(
+            Invoke(time=self._tick(), pid=pid, op=op, kind="write", value=value)
+        )
+        return op
+
+    def end(self, op, pid):
+        self.history.append(Reply(time=self._tick(), pid=pid, op=op, kind="write"))
+
+    def crash(self, pid):
+        self.history.append(Crash(time=self._tick(), pid=pid))
+
+
+class TestNonConcurrentReads:
+    def test_must_return_last_written_value(self):
+        b = Builder()
+        b.write(0, "a")
+        b.read(1, "a")
+        assert check_regularity(b.history).ok
+        assert check_safety(b.history).ok
+
+    def test_stale_value_rejected_by_both(self):
+        b = Builder()
+        b.write(0, "a")
+        b.write(0, "b")
+        b.read(1, "a")
+        assert not check_regularity(b.history).ok
+        assert not check_safety(b.history).ok
+
+    def test_initial_value_before_any_write(self):
+        b = Builder()
+        b.read(1, None)
+        assert check_regularity(b.history).ok
+
+    def test_custom_initial_value(self):
+        b = Builder()
+        b.read(1, "seeded")
+        assert check_regularity(b.history, initial_value="seeded").ok
+        assert not check_regularity(b.history, initial_value="other").ok
+
+
+class TestConcurrentReads:
+    def test_regular_read_may_return_old_or_new(self):
+        for observed in ("old", "new"):
+            b = Builder()
+            b.write(0, "old")
+            w = b.begin_write(0, "new")
+            b.read(1, observed)
+            b.end(w, 0)
+            assert check_regularity(b.history).ok, observed
+
+    def test_new_old_inversion_is_regular(self):
+        # The defining gap to atomicity: reads may go backwards while
+        # overlapping the same write.
+        b = Builder()
+        b.write(0, "old")
+        w = b.begin_write(0, "new")
+        b.read(1, "new")
+        b.read(1, "old")
+        b.end(w, 0)
+        assert check_regularity(b.history).ok
+        assert check_safety(b.history).ok
+
+    def test_regular_read_must_not_invent_values(self):
+        b = Builder()
+        b.write(0, "old")
+        w = b.begin_write(0, "new")
+        b.read(1, "phantom")
+        b.end(w, 0)
+        assert not check_regularity(b.history).ok
+
+    def test_regular_forbids_values_older_than_last_complete(self):
+        b = Builder()
+        b.write(0, "v1")
+        b.write(0, "v2")
+        w = b.begin_write(0, "v3")
+        b.read(1, "v1")  # older than v2, not concurrent -- illegal
+        b.end(w, 0)
+        assert not check_regularity(b.history).ok
+
+    def test_safe_allows_any_written_value_under_concurrency(self):
+        b = Builder()
+        b.write(0, "v1")
+        b.write(0, "v2")
+        w = b.begin_write(0, "v3")
+        b.read(1, "v1")
+        b.end(w, 0)
+        # Safe permits it (the read overlaps a write); regular does not.
+        assert check_safety(b.history).ok
+        assert not check_regularity(b.history).ok
+
+
+class TestPendingWrites:
+    def test_pending_write_counts_as_concurrent_forever(self):
+        b = Builder()
+        b.write(0, "a")
+        b.begin_write(0, "maybe")
+        b.crash(0)
+        b.read(1, "maybe")
+        b.read(1, "a")  # inversion across a pending write: regular-legal
+        assert check_regularity(b.history).ok
+
+    def test_reads_after_pending_write_may_also_see_old(self):
+        b = Builder()
+        b.write(0, "a")
+        b.begin_write(0, "lost")
+        b.crash(0)
+        b.read(1, "a")
+        assert check_regularity(b.history).ok
+
+
+class TestVerdictShape:
+    def test_violations_are_reported(self):
+        b = Builder()
+        b.write(0, "a")
+        b.read(1, "ghost")
+        verdict = check_regularity(b.history)
+        assert not verdict
+        assert len(verdict.violations) == 1
+        assert verdict.operations == 2

@@ -1,0 +1,124 @@
+"""Unit tests for simulated stable storage."""
+
+import pytest
+
+from repro.common.config import StorageConfig
+from repro.sim.kernel import Kernel
+from repro.sim.storage import SimStableStorage
+from repro.sim.tracing import Trace
+
+
+def make_storage(**config_kwargs):
+    kernel = Kernel(seed=0)
+    storage = SimStableStorage(kernel, 0, StorageConfig(**config_kwargs), Trace())
+    return kernel, storage
+
+
+class TestDurability:
+    def test_store_completes_after_latency(self):
+        kernel, storage = make_storage(base_latency=2e-4, bandwidth=1e12)
+        done = []
+        storage.store("k", ("v",), size=10, on_durable=lambda: done.append(kernel.now))
+        assert storage.retrieve("k") is None  # not durable yet
+        kernel.run()
+        assert storage.retrieve("k") == ("v",)
+        assert done == [pytest.approx(2e-4)]
+
+    def test_latest_record_wins(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("old",), size=1, on_durable=lambda: None)
+        storage.store("k", ("new",), size=1, on_durable=lambda: None)
+        kernel.run()
+        assert storage.retrieve("k") == ("new",)
+
+    def test_records_survive_crash(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("v",), size=1, on_durable=lambda: None)
+        kernel.run()
+        storage.crash()
+        assert storage.retrieve("k") == ("v",)
+
+    def test_keys_are_independent(self):
+        kernel, storage = make_storage()
+        storage.store("a", (1,), size=1, on_durable=lambda: None)
+        storage.store("b", (2,), size=1, on_durable=lambda: None)
+        kernel.run()
+        assert storage.retrieve("a") == (1,)
+        assert storage.retrieve("b") == (2,)
+
+    def test_retrieve_missing_key_returns_none(self):
+        _, storage = make_storage()
+        assert storage.retrieve("missing") is None
+
+
+class TestCrashSemantics:
+    def test_in_flight_store_is_voided_by_crash(self):
+        kernel, storage = make_storage(base_latency=1e-3)
+        done = []
+        storage.store("k", ("v",), size=1, on_durable=lambda: done.append(1))
+        storage.crash()
+        kernel.run()
+        assert storage.retrieve("k") is None
+        assert done == []
+        assert storage.stores_lost_to_crash == 1
+
+    def test_completed_stores_not_counted_as_lost(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("v",), size=1, on_durable=lambda: None)
+        kernel.run()
+        storage.crash()
+        assert storage.stores_lost_to_crash == 0
+
+    def test_storage_usable_after_crash(self):
+        kernel, storage = make_storage()
+        storage.crash()
+        done = []
+        storage.store("k", ("v",), size=1, on_durable=lambda: done.append(1))
+        kernel.run()
+        assert storage.retrieve("k") == ("v",)
+        assert done == [1]
+
+    def test_store_issued_before_crash_does_not_resurrect(self):
+        # A store voided by a crash must not become durable even though
+        # its kernel event still fires.
+        kernel, storage = make_storage(base_latency=1e-3)
+        storage.store("k", ("ghost",), size=1, on_durable=lambda: None)
+        storage.crash()
+        storage.store("k", ("real",), size=1, on_durable=lambda: None)
+        kernel.run()
+        assert storage.retrieve("k") == ("real",)
+
+
+class TestSequentialDevice:
+    def test_concurrent_stores_queue_behind_each_other(self):
+        kernel, storage = make_storage(base_latency=1e-3, bandwidth=1e12)
+        times = []
+        storage.store("a", (1,), size=1, on_durable=lambda: times.append(kernel.now))
+        storage.store("b", (2,), size=1, on_durable=lambda: times.append(kernel.now))
+        kernel.run()
+        assert times[0] == pytest.approx(1e-3)
+        assert times[1] == pytest.approx(2e-3)
+
+    def test_device_frees_up_between_stores(self):
+        kernel, storage = make_storage(base_latency=1e-3, bandwidth=1e12)
+        done = []
+        storage.store("a", (1,), size=1, on_durable=lambda: done.append(kernel.now))
+        kernel.run()
+        storage.store("b", (2,), size=1, on_durable=lambda: done.append(kernel.now))
+        kernel.run()
+        assert done[1] - done[0] == pytest.approx(1e-3)
+
+    def test_byte_and_count_statistics(self):
+        kernel, storage = make_storage()
+        storage.store("a", (1,), size=100, on_durable=lambda: None)
+        storage.store("b", (2,), size=50, on_durable=lambda: None)
+        kernel.run()
+        assert storage.stores_completed == 2
+        assert storage.bytes_logged == 150
+
+    def test_larger_logs_take_longer(self):
+        kernel, storage = make_storage(base_latency=0.0, bandwidth=1e6)
+        times = []
+        storage.store("a", (1,), size=1000, on_durable=lambda: times.append(kernel.now))
+        kernel.run()
+        assert times[0] == pytest.approx(1e-3)

@@ -1,0 +1,92 @@
+"""Unit tests for lexicographic tags."""
+
+import pytest
+
+from repro.common.timestamps import Tag, bottom_tag, max_tag
+
+
+class TestTagOrdering:
+    def test_orders_by_sequence_number_first(self):
+        assert Tag(1, 5) < Tag(2, 0)
+
+    def test_breaks_sequence_ties_by_pid(self):
+        assert Tag(3, 1) < Tag(3, 2)
+
+    def test_breaks_pid_ties_by_recovery_count(self):
+        assert Tag(3, 1, 0) < Tag(3, 1, 4)
+
+    def test_equal_tags(self):
+        assert Tag(2, 1) == Tag(2, 1, 0)
+        assert not Tag(2, 1) < Tag(2, 1)
+
+    def test_total_order_on_mixed_sample(self):
+        tags = [Tag(2, 0), Tag(1, 9), Tag(2, 0, 1), Tag(0, 0), Tag(2, 1)]
+        ordered = sorted(tags)
+        assert ordered == [Tag(0, 0), Tag(1, 9), Tag(2, 0), Tag(2, 0, 1), Tag(2, 1)]
+
+    def test_comparison_against_non_tag_raises(self):
+        with pytest.raises(TypeError):
+            Tag(1, 0) < 5  # noqa: B015
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Tag(1, 0), Tag(1, 0, 0), Tag(1, 1)}) == 2
+
+
+class TestTagValidation:
+    def test_rejects_negative_sequence_number(self):
+        with pytest.raises(ValueError):
+            Tag(-1, 0)
+
+    def test_rejects_negative_pid(self):
+        with pytest.raises(ValueError):
+            Tag(0, -2)
+
+    def test_rejects_negative_recovery_count(self):
+        with pytest.raises(ValueError):
+            Tag(0, 0, -1)
+
+
+class TestNextFor:
+    def test_default_increment(self):
+        assert Tag(4, 2).next_for(7) == Tag(5, 7)
+
+    def test_custom_increment_models_rec_arithmetic(self):
+        # Figure 5, line 11: sn := sn + rec + 1.
+        assert Tag(4, 2).next_for(7, increment=3, rec=2) == Tag(7, 7, 2)
+
+    def test_rejects_non_positive_increment(self):
+        with pytest.raises(ValueError):
+            Tag(4, 2).next_for(7, increment=0)
+
+    def test_result_is_strictly_greater(self):
+        base = Tag(9, 3)
+        assert base.next_for(0) > base
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        tag = Tag(7, 3, 2)
+        assert Tag.from_tuple(tag.as_tuple()) == tag
+
+    def test_accepts_legacy_pairs(self):
+        assert Tag.from_tuple((4, 1)) == Tag(4, 1, 0)
+
+    def test_str_hides_zero_rec(self):
+        assert str(Tag(4, 1)) == "[4,1]"
+        assert str(Tag(4, 1, 2)) == "[4,1,r2]"
+
+
+class TestHelpers:
+    def test_bottom_tag_is_minimal(self):
+        assert bottom_tag() <= Tag(0, 0)
+        assert bottom_tag() < Tag(0, 1)
+        assert bottom_tag() < Tag(1, 0)
+
+    def test_max_tag_of_empty_is_none(self):
+        assert max_tag([]) is None
+
+    def test_max_tag_picks_lexicographic_maximum(self):
+        assert max_tag([Tag(1, 2), Tag(2, 0), Tag(1, 9)]) == Tag(2, 0)
+
+    def test_max_tag_single_element(self):
+        assert max_tag([Tag(3, 3)]) == Tag(3, 3)

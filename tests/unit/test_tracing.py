@@ -1,0 +1,84 @@
+"""Unit tests for the trace event log."""
+
+from repro.sim import tracing
+from repro.sim.tracing import Trace, TraceEvent
+
+
+def event(kind=tracing.SEND, pid=0, time=1.0, **detail):
+    return TraceEvent(time=time, kind=kind, pid=pid, detail=detail)
+
+
+class TestTrace:
+    def test_emit_appends_in_order(self):
+        trace = Trace()
+        trace.emit(event(pid=0))
+        trace.emit(event(pid=1))
+        assert [e.pid for e in trace.events] == [0, 1]
+        assert len(trace) == 2
+
+    def test_counts_by_kind_even_without_capture(self):
+        trace = Trace(capture=False)
+        trace.emit(event(kind=tracing.SEND))
+        trace.emit(event(kind=tracing.SEND))
+        trace.emit(event(kind=tracing.CRASH))
+        assert trace.count(tracing.SEND) == 2
+        assert trace.count(tracing.CRASH) == 1
+        assert trace.events == []
+
+    def test_filter_by_kind_and_pid(self):
+        trace = Trace()
+        trace.emit(event(kind=tracing.SEND, pid=0))
+        trace.emit(event(kind=tracing.SEND, pid=1))
+        trace.emit(event(kind=tracing.CRASH, pid=1))
+        assert len(trace.filter(kind=tracing.SEND)) == 2
+        assert len(trace.filter(pid=1)) == 2
+        assert len(trace.filter(kind=tracing.SEND, pid=1)) == 1
+
+    def test_listeners_run_synchronously(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append)
+        probe = event()
+        trace.emit(probe)
+        assert seen == [probe]
+
+    def test_unsubscribe_stops_delivery(self):
+        trace = Trace()
+        seen = []
+        unsubscribe = trace.subscribe(seen.append)
+        trace.emit(event())
+        unsubscribe()
+        trace.emit(event())
+        assert len(seen) == 1
+
+    def test_unsubscribe_is_idempotent(self):
+        trace = Trace()
+        unsubscribe = trace.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()
+
+    def test_listener_may_emit_followup_events(self):
+        # The failure injector reacts to events by crashing nodes, which
+        # emits a crash event from within the listener callback.
+        trace = Trace()
+
+        def listener(e):
+            if e.kind == tracing.SEND:
+                trace.emit(event(kind=tracing.CRASH))
+
+        trace.subscribe(listener)
+        trace.emit(event(kind=tracing.SEND))
+        assert trace.count(tracing.CRASH) == 1
+
+    def test_format_renders_requested_kinds(self):
+        trace = Trace()
+        trace.emit(event(kind=tracing.SEND, pid=3))
+        trace.emit(event(kind=tracing.CRASH, pid=4))
+        text = trace.format(kinds=[tracing.CRASH])
+        assert "p4" in text
+        assert "p3" not in text
+
+    def test_event_str_contains_details(self):
+        text = str(event(kind=tracing.DELIVER, pid=2, msg="W"))
+        assert "deliver" in text
+        assert "msg=W" in text

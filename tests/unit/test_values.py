@@ -1,0 +1,47 @@
+"""Unit tests for value sizing helpers."""
+
+import pytest
+
+from repro.common.values import SCALAR_SIZE, SizedValue, payload_size
+
+
+class TestPayloadSize:
+    def test_none_is_free(self):
+        assert payload_size(None) == 0
+
+    def test_bytes_by_length(self):
+        assert payload_size(b"abcd") == 4
+        assert payload_size(bytearray(10)) == 10
+
+    def test_str_by_utf8_length(self):
+        assert payload_size("abc") == 3
+        assert payload_size("héllo") == 6  # é is two bytes
+
+    def test_int_and_float_are_scalar_sized(self):
+        assert payload_size(42) == SCALAR_SIZE
+        assert payload_size(3.14) == SCALAR_SIZE
+
+    def test_bool_is_one_byte(self):
+        assert payload_size(True) == 1
+
+    def test_fallback_uses_repr(self):
+        assert payload_size((1, 2)) == len(repr((1, 2)))
+
+    def test_sized_value_uses_declared_size(self):
+        assert payload_size(SizedValue("photo", size=48 * 1024)) == 48 * 1024
+
+
+class TestSizedValue:
+    def test_equality_by_label(self):
+        assert SizedValue("a", 10) == SizedValue("a", 99)
+        assert SizedValue("a", 10) != SizedValue("b", 10)
+
+    def test_hash_by_label(self):
+        assert len({SizedValue("a", 10), SizedValue("a", 20)}) == 1
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            SizedValue("a", -1)
+
+    def test_repr_is_informative(self):
+        assert "photo" in repr(SizedValue("photo", 5))

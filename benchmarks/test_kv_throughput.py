@@ -1,0 +1,87 @@
+"""KV store benchmarks (ours): throughput scaling of the sharded layer.
+
+Not a figure from the paper -- the acceptance bar of the KV subsystem:
+
+* simulated-time throughput must scale at least 2x going from 1 shard
+  to 8 shards under a 16-client zipfian workload (pipeline parallelism
+  actually exploited);
+* a positive batch window must cut the datagram count (same-shard
+  operations genuinely share quorum round-trips);
+* every measured run's per-key histories must pass the atomicity
+  checkers -- the store never buys throughput with consistency.
+"""
+
+import pytest
+
+from repro.experiments.kv_bench import (
+    SHARD_SWEEP,
+    WINDOW_SWEEP,
+    WINDOW_SWEEP_SHARDS,
+    format_kv_bench,
+    run_kv_bench,
+    run_kv_config,
+)
+
+
+@pytest.fixture(scope="module")
+def shard_rows():
+    return [run_kv_config(shards, batch_window=0.0) for shards in SHARD_SWEEP]
+
+
+@pytest.fixture(scope="module")
+def window_rows():
+    return [
+        run_kv_config(WINDOW_SWEEP_SHARDS, batch_window=window)
+        for window in WINDOW_SWEEP
+    ]
+
+
+def test_throughput_scales_2x_from_1_to_8_shards(shard_rows, write_result):
+    by_shards = {row.shards: row for row in shard_rows}
+    baseline, scaled = by_shards[1], by_shards[8]
+    assert baseline.completed == scaled.completed == 16 * 30
+    speedup = scaled.throughput / baseline.throughput
+    write_result(
+        "kv_shard_scaling",
+        format_kv_bench(shard_rows)
+        + f"\n\n1 -> 8 shard speedup: {speedup:.2f}x (required: >= 2.0x)",
+    )
+    assert speedup >= 2.0, (
+        f"1->8 shard speedup {speedup:.2f}x below the 2x acceptance bar "
+        f"({baseline.throughput:,.0f} -> {scaled.throughput:,.0f} ops/s)"
+    )
+
+
+def test_throughput_increases_monotonically_enough(shard_rows):
+    """Each doubling of shards may plateau but must never regress by
+    more than measurement noise."""
+    ordered = sorted(shard_rows, key=lambda row: row.shards)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert larger.throughput > smaller.throughput * 0.9
+
+
+def test_every_swept_run_is_per_key_atomic(shard_rows, window_rows):
+    for row in [*shard_rows, *window_rows]:
+        assert row.atomic, (
+            f"shards={row.shards} window={row.window_us:.0f}us produced a "
+            f"non-atomic per-key history"
+        )
+
+
+def test_batching_cuts_datagrams_and_helps_throughput(window_rows, write_result):
+    by_window = {row.batch_window: row for row in window_rows}
+    unbatched = by_window[0.0]
+    batched = max(
+        (row for row in window_rows if row.batch_window > 0),
+        key=lambda row: row.throughput,
+    )
+    write_result("kv_batch_window", format_kv_bench(window_rows))
+    assert batched.messages_sent < unbatched.messages_sent * 0.8
+    assert batched.throughput > unbatched.throughput
+
+
+def test_kv_bench_quick_wall_time(benchmark):
+    """Wall time of the CI smoke sweep (`repro kv-bench --quick`)."""
+    rows = benchmark(run_kv_bench, quick=True)
+    assert all(row.atomic for row in rows)
+    assert {row.shards for row in rows} >= {1, 8}

@@ -4,121 +4,90 @@ The paper's motivation: distributed programming with shared memory is
 easier than with message passing.  This example builds the kind of
 application the abstraction is for -- a small cluster-wide
 configuration store (feature flags, leader hints, rate limits) -- on
-top of the emulated register, then abuses it with the failures the
-crash-recovery model allows:
+the real :class:`repro.kv.KVCluster`: every key is a virtual register
+instance multiplexed over ONE five-replica cluster (not a cluster per
+key), keys are sharded across per-process pipelines, and same-shard
+updates batch into shared quorum round-trips.  Then we abuse it with
+the failures the crash-recovery model allows:
 
-* rolling restarts (each node crashes and recovers in turn),
-* a correlated crash of every node at once (power loss),
-* a writer dying mid-update.
+* rolling restarts (each replica crashes and recovers in turn),
+* a correlated crash of every replica at once (power loss),
+* an update issued while part of the cluster is down.
 
-Each configuration *key* is one multi-writer/multi-reader register;
-the store is just a dict of registers.  Because every register is
-persistent atomic, readers always see a consistent, most-recent value
--- no matter which replica they ask and what crashed in between.
+Because every register is persistent atomic, readers always see a
+consistent, most-recent value -- no matter which replica they ask and
+what crashed in between -- and the run's per-key histories prove it
+via the paper's atomicity checkers.
 
 Usage::
 
     python examples/crash_recovery_kv.py
 """
 
-from typing import Any, Dict
+from repro.kv import KVCluster
 
-from repro import SimCluster
-from repro.sim.node import SimOperation
-
-
-class ConfigStore:
-    """A tiny replicated key-value store: one register per key."""
-
-    def __init__(self, num_replicas: int = 5, seed: int = 0):
-        self._clusters: Dict[str, SimCluster] = {}
-        self._num_replicas = num_replicas
-        self._seed = seed
-
-    def _register(self, key: str) -> SimCluster:
-        if key not in self._clusters:
-            cluster = SimCluster(
-                protocol="persistent",
-                num_processes=self._num_replicas,
-                seed=self._seed + len(self._clusters),
-            )
-            cluster.start()
-            self._clusters[key] = cluster
-        return self._clusters[key]
-
-    def set(self, key: str, value: Any, via_replica: int = 0) -> SimOperation:
-        return self._register(key).write_sync(via_replica, value)
-
-    def get(self, key: str, via_replica: int = 0) -> Any:
-        return self._register(key).read_sync(via_replica)
-
-    # -- failure injection, forwarded to every key's register cluster ----
-
-    def crash_replica(self, pid: int) -> None:
-        for cluster in self._clusters.values():
-            if not cluster.node(pid).crashed:
-                cluster.crash(pid)
-
-    def recover_replica(self, pid: int, wait: bool = True) -> None:
-        for cluster in self._clusters.values():
-            if cluster.node(pid).crashed:
-                cluster.recover(pid, wait=wait)
-
-    def wait_all_ready(self) -> None:
-        for cluster in self._clusters.values():
-            cluster.run_until(
-                lambda c=cluster: all(node.ready for node in c.nodes), timeout=5.0
-            )
-
-    def verify(self) -> bool:
-        return all(
-            cluster.check_atomicity().ok for cluster in self._clusters.values()
-        )
+CONFIG_KEYS = (
+    "feature.dark_mode",
+    "limits.requests_per_second",
+    "routing.primary_region",
+)
 
 
 def main() -> None:
-    store = ConfigStore(num_replicas=5)
+    store = KVCluster(
+        protocol="persistent",
+        num_processes=5,
+        num_shards=4,
+        batch_window=2e-5,  # 20us of virtual time to coalesce round-trips
+        seed=0,
+    )
+    store.start()
 
     print("== initial configuration ==")
-    store.set("feature.dark_mode", True)
-    store.set("limits.requests_per_second", 1000)
-    store.set("routing.primary_region", "eu-west")
-    for key in ("feature.dark_mode", "limits.requests_per_second",
-                "routing.primary_region"):
-        print(f"  {key} = {store.get(key, via_replica=3)!r}")
+    store.write_sync("feature.dark_mode", True)
+    store.write_sync("limits.requests_per_second", 1000)
+    store.write_sync("routing.primary_region", "eu-west")
+    for key in CONFIG_KEYS:
+        print(f"  {key} = {store.read_sync(key, pid=3)!r}")
 
     print("== rolling restart: every replica crashes and recovers ==")
     for pid in range(5):
-        store.crash_replica(pid)
-        store.recover_replica(pid)
-    print(f"  dark_mode read from restarted replica 4: "
-          f"{store.get('feature.dark_mode', via_replica=4)!r}")
+        store.crash(pid)
+        store.recover(pid)
+    print(
+        f"  dark_mode read from restarted replica 4: "
+        f"{store.read_sync('feature.dark_mode', pid=4)!r}"
+    )
 
     print("== update during a partial outage (2 of 5 replicas down) ==")
-    store.crash_replica(3)
-    store.crash_replica(4)
-    store.set("limits.requests_per_second", 250, via_replica=1)
-    print(f"  rps while degraded: "
-          f"{store.get('limits.requests_per_second', via_replica=2)!r}")
-    store.recover_replica(3)
-    store.recover_replica(4)
-    print(f"  rps from recovered replica 3: "
-          f"{store.get('limits.requests_per_second', via_replica=3)!r}")
+    store.crash(3)
+    store.crash(4)
+    store.write_sync("limits.requests_per_second", 250, pid=1)
+    print(
+        f"  rps while degraded: "
+        f"{store.read_sync('limits.requests_per_second', pid=2)!r}"
+    )
+    store.recover(3)
+    store.recover(4)
+    print(
+        f"  rps from recovered replica 3: "
+        f"{store.read_sync('limits.requests_per_second', pid=3)!r}"
+    )
 
     print("== datacenter power loss: all replicas crash at once ==")
     for pid in range(5):
-        store.crash_replica(pid)
+        store.crash(pid)
     # Recovery of a persistent replica replays its last write to a
     # majority, so after a total outage the replicas must be restarted
     # together before any can finish recovering.
     for pid in range(5):
-        store.recover_replica(pid, wait=False)
-    store.wait_all_ready()
-    for key in ("feature.dark_mode", "limits.requests_per_second",
-                "routing.primary_region"):
-        print(f"  {key} = {store.get(key, via_replica=0)!r}")
+        store.recover(pid, wait=False)
+    store.run_until(lambda: all(node.ready for node in store.nodes), timeout=5.0)
+    for key in CONFIG_KEYS:
+        print(f"  {key} = {store.read_sync(key, pid=0)!r}")
 
-    print(f"== all histories atomic: {store.verify()} ==")
+    report = store.check_atomicity()
+    print(f"== all {len(report.per_key)} per-key histories atomic: {report.ok} ==")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ Emulations of Shared Memory in a Crash-Recovery Model* (ICDCS 2004):
 * black-box and white-box checkers for the paper's two consistency
   criteria, and engine-level measurement of the paper's cost metric
   (causal logs per operation);
+* a sharded key-value store (:mod:`repro.kv`) multiplexing many
+  register instances over one cluster, with batching and per-key
+  atomicity checking;
 * experiment harnesses regenerating every figure of the evaluation.
 
 Quickstart::
@@ -25,6 +28,16 @@ Quickstart::
     cluster.recover(0, wait=True)
     assert cluster.read_sync(pid=0) == "hello"
     assert cluster.check_atomicity().ok
+
+Key-value quickstart::
+
+    from repro import KVCluster
+
+    kv = KVCluster(protocol="persistent", num_processes=5, num_shards=8)
+    kv.start()
+    kv.write_sync("user:42", {"name": "ada"})
+    assert kv.read_sync("user:42") == {"name": "ada"}
+    assert kv.check_atomicity().ok
 """
 
 from repro.cluster import SimCluster
@@ -53,18 +66,30 @@ from repro.history.checker import (
     check_transient_atomicity,
 )
 from repro.history.history import History
+from repro.history.partition import partition_history
+from repro.kv import (
+    ConsistentHashShardMap,
+    HashShardMap,
+    KVAtomicityReport,
+    KVCluster,
+    ShardMap,
+)
 from repro.metrics import RunMetrics, collect_metrics
 from repro.protocol.registry import PROTOCOLS, get_protocol_class
 from repro.sim.failures import CrashSchedule, RandomCrashPlan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AtomicityVerdict",
     "ClusterConfig",
     "ConfigurationError",
+    "ConsistentHashShardMap",
     "CrashSchedule",
+    "HashShardMap",
     "History",
+    "KVAtomicityReport",
+    "KVCluster",
     "NetworkConfig",
     "NotRecoveredError",
     "OperationAborted",
@@ -76,6 +101,7 @@ __all__ = [
     "RandomCrashPlan",
     "ReproError",
     "RunMetrics",
+    "ShardMap",
     "SimCluster",
     "SizedValue",
     "StorageConfig",
@@ -87,5 +113,6 @@ __all__ = [
     "check_transient_atomicity",
     "collect_metrics",
     "get_protocol_class",
+    "partition_history",
     "__version__",
 ]

@@ -9,6 +9,7 @@ Usage::
     python -m repro log-complexity
     python -m repro ablations
     python -m repro weaker-memory
+    python -m repro kv-bench [--quick]
     python -m repro all
 
 Each subcommand prints the same rows/series the paper reports (see
@@ -154,6 +155,23 @@ def _cmd_weaker_memory(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_kv_bench(args: argparse.Namespace) -> str:
+    from repro.experiments.kv_bench import format_kv_bench, run_kv_bench
+
+    clients = getattr(args, "clients", 16)
+    rows = run_kv_bench(
+        quick=getattr(args, "quick", False),
+        protocol=getattr(args, "protocol", "persistent"),
+        num_clients=clients,
+        operations_per_client=getattr(args, "operations", 30) or 30,
+    )
+    return (
+        "KV store: simulated-time throughput vs. shard count and batch window\n"
+        f"({clients} zipfian closed-loop clients; per-key histories checked "
+        "for atomicity)\n\n" + format_kv_bench(rows)
+    )
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure6-top": _cmd_figure6_top,
     "figure6-bottom": _cmd_figure6_bottom,
@@ -164,6 +182,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablations": _cmd_ablations,
     "weaker-memory": _cmd_weaker_memory,
     "show-run": _cmd_show_run,
+    "kv-bench": _cmd_kv_bench,
 }
 
 
@@ -184,8 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--operations", type=int, default=30,
-            help="operations per workload (log-complexity; default: 30)",
+            help="operations per workload (log-complexity, kv-bench; default: 30)",
         )
+        if name == "kv-bench":
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="CI-sized smoke sweep (1 vs 8 shards, fewer operations)",
+            )
+            sub.add_argument(
+                "--clients", type=int, default=16,
+                help="closed-loop clients (default: 16)",
+            )
+            sub.add_argument(
+                "--protocol", default="persistent",
+                help="register protocol to run the store on (default: persistent)",
+            )
     all_cmd = subparsers.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--repeats", type=int, default=20)
     all_cmd.add_argument("--operations", type=int, default=20)

@@ -17,17 +17,24 @@ Everything runs on virtual time: ``write_sync``/``read_sync`` advance
 the simulation until the operation settles.  For concurrent workloads,
 invoke with :meth:`write`/:meth:`read` (returns a handle immediately)
 and drive the clock with :meth:`run`/:meth:`run_until`.
+
+Beyond the single anonymous register, a cluster can host named
+*register instances* (one per key of the KV layer): provision them with
+:meth:`SimCluster.ensure_register` and address them with the ``key``
+argument of :meth:`write`/:meth:`read`.  The sharded, batching
+key-value front-end lives in :mod:`repro.kv`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError, OperationAborted, ReproError
 from repro.common.ids import ProcessId
 from repro.history.checker import AtomicityVerdict, check_history
 from repro.history.history import History
+from repro.history.partition import partition_history
 from repro.history.recorder import HistoryRecorder
 from repro.protocol.base import RegisterProtocol, StableView
 from repro.protocol.registry import get_protocol_class
@@ -58,6 +65,7 @@ class SimCluster:
         seed: Optional[int] = None,
         include_broken: bool = False,
         capture_trace: bool = True,
+        batch_window: float = 0.0,
     ):
         if config is None:
             config = ClusterConfig()
@@ -101,8 +109,10 @@ class SimCluster:
                 recorder=self.recorder,
                 trace=self.trace,
                 num_processes=config.num_processes,
+                batch_window=batch_window,
             )
             self.nodes.append(node)
+        self._registers: Set[str] = set()
         self.injector = TriggerInjector(
             trace=self.trace,
             crash_fn=self._try_crash,
@@ -197,15 +207,65 @@ class SimCluster:
             else:
                 self.kernel.schedule(delay, self._try_recover, action.pid)
 
+    # -- register instances ---------------------------------------------------
+
+    def ensure_register(self, key: str) -> None:
+        """Provision the virtual register instance ``key`` on every node.
+
+        Idempotent.  On running nodes the new instance initializes
+        within the simulation (its initial records must become durable
+        before it accepts operations -- use :meth:`wait_register` or
+        any synchronous operation to run the clock); crashed nodes
+        boot the instance when they recover.
+        """
+        if key in self._registers:
+            return
+        self._registers.add(key)
+        for node in self.nodes:
+            node.provision_register(key)
+
+    @property
+    def registers(self) -> List[str]:
+        """Named register instances provisioned so far."""
+        return sorted(self._registers)
+
+    def wait_register(self, key: str, timeout: float = 1.0) -> None:
+        """Advance the clock until ``key`` is ready on every live node."""
+        ok = self.kernel.run_until(
+            lambda: all(
+                node.crashed or node.register_ready(key) for node in self.nodes
+            ),
+            timeout=timeout,
+        )
+        if not ok:
+            raise ReproError(f"register {key!r} did not become ready")
+
     # -- operations ------------------------------------------------------------
 
-    def write(self, pid: ProcessId, value: Any) -> SimOperation:
-        """Invoke a write at process ``pid``; returns the handle."""
-        return self.node(pid).invoke_write(value)
+    def write(
+        self, pid: ProcessId, value: Any, key: Optional[str] = None
+    ) -> SimOperation:
+        """Invoke a write at process ``pid``; returns the handle.
 
-    def read(self, pid: ProcessId) -> SimOperation:
-        """Invoke a read at process ``pid``; returns the handle."""
-        return self.node(pid).invoke_read()
+        ``key`` addresses a named register instance; ``None`` is the
+        classic anonymous register.  A named register must have
+        finished initializing before it accepts operations: on a
+        key's first touch call :meth:`ensure_register` +
+        :meth:`wait_register` (or use :meth:`write_sync`, which does)
+        or this raises :class:`~repro.common.errors.NotRecoveredError`.
+        """
+        if key is not None:
+            self.ensure_register(key)
+        return self.node(pid).invoke_write(value, register=key)
+
+    def read(self, pid: ProcessId, key: Optional[str] = None) -> SimOperation:
+        """Invoke a read at process ``pid``; returns the handle.
+
+        Named-register readiness works as in :meth:`write`.
+        """
+        if key is not None:
+            self.ensure_register(key)
+        return self.node(pid).invoke_read(register=key)
 
     def wait(
         self, handle: SimOperation, timeout: float = DEFAULT_OP_TIMEOUT
@@ -229,19 +289,32 @@ class SimCluster:
         return list(handles)
 
     def write_sync(
-        self, pid: ProcessId, value: Any, timeout: float = DEFAULT_OP_TIMEOUT
+        self,
+        pid: ProcessId,
+        value: Any,
+        key: Optional[str] = None,
+        timeout: float = DEFAULT_OP_TIMEOUT,
     ) -> SimOperation:
         """Write and run the simulation until the write returns."""
-        handle = self.wait(self.write(pid, value), timeout=timeout)
+        if key is not None:
+            self.ensure_register(key)
+            self.wait_register(key, timeout=timeout)
+        handle = self.wait(self.write(pid, value, key=key), timeout=timeout)
         if handle.aborted:
             raise OperationAborted(f"write at p{pid} aborted by a crash")
         return handle
 
     def read_sync(
-        self, pid: ProcessId, timeout: float = DEFAULT_OP_TIMEOUT
+        self,
+        pid: ProcessId,
+        key: Optional[str] = None,
+        timeout: float = DEFAULT_OP_TIMEOUT,
     ) -> Any:
         """Read and run the simulation until the value is returned."""
-        handle = self.wait(self.read(pid), timeout=timeout)
+        if key is not None:
+            self.ensure_register(key)
+            self.wait_register(key, timeout=timeout)
+        handle = self.wait(self.read(pid, key=key), timeout=timeout)
         if handle.aborted:
             raise OperationAborted(f"read at p{pid} aborted by a crash")
         return handle.result
@@ -265,6 +338,18 @@ class SimCluster:
 
     # -- verification ------------------------------------------------------------
 
+    def per_register_histories(self) -> Dict[Optional[str], History]:
+        """Project the recorded history onto each register instance.
+
+        The ``None`` entry is the anonymous register's history (the one
+        :meth:`check_atomicity` judges); named entries carry one key's
+        operations each, with every crash/recovery event replicated
+        into every projection.
+        """
+        return partition_history(
+            self.history, self.recorder.register_of, registers=self._registers
+        )
+
     def check_atomicity(
         self, criterion: Optional[str] = None, initial_value: Any = None
     ) -> AtomicityVerdict:
@@ -272,14 +357,20 @@ class SimCluster:
 
         ``criterion`` defaults to what the running protocol promises:
         ``"transient"`` for the transient algorithm, ``"persistent"``
-        for everything else.
+        for everything else.  When named register instances exist, this
+        judges the anonymous register's projection; check the named
+        ones via :meth:`per_register_histories` (the KV layer's
+        ``check_atomicity`` does exactly that, per key).
         """
         if criterion is None:
             criterion = (
                 "transient" if self.protocol_name == "transient" else "persistent"
             )
+        history = self.history
+        if self._registers:
+            history = self.per_register_histories().get(None, History())
         return check_history(
-            self.history, criterion=criterion, initial_value=initial_value
+            history, criterion=criterion, initial_value=initial_value
         )
 
     def causal_log_counts(self) -> Dict[str, List[int]]:

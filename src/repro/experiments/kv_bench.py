@@ -1,0 +1,160 @@
+"""KV store benchmark: throughput vs. shard count and batch window.
+
+Not a figure from the paper -- this is the scaling story of the
+:mod:`repro.kv` layer built on top of it: a 16-client zipfian workload
+against the sharded store, sweeping
+
+* the **shard count** at a zero batch window (pure pipeline
+  parallelism: each shard executes serially, shards run concurrently);
+* the **batch window** at a fixed shard count (same-shard operations
+  issued within the window share one quorum round-trip).
+
+Every run's per-key histories are checked for atomicity, so the
+numbers are only reported for runs the checkers accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.kv.store import KVCluster
+from repro.workloads.kv import KVWorkloadRunner, ZipfianKeys
+
+#: Simulated-time throughput sweep defaults.
+SHARD_SWEEP = (1, 2, 4, 8)
+WINDOW_SWEEP = (0.0, 2e-5, 1e-4)
+WINDOW_SWEEP_SHARDS = 2
+
+
+@dataclass
+class KVBenchRow:
+    """One configuration's measured results."""
+
+    shards: int
+    batch_window: float
+    clients: int
+    completed: int
+    aborted: int
+    throughput: float
+    mean_latency: float
+    messages_sent: int
+    atomic: bool
+
+    @property
+    def window_us(self) -> float:
+        return self.batch_window * 1e6
+
+    @property
+    def latency_us(self) -> float:
+        return self.mean_latency * 1e6
+
+
+def run_kv_config(
+    shards: int,
+    batch_window: float = 0.0,
+    protocol: str = "persistent",
+    num_processes: int = 5,
+    num_clients: int = 16,
+    operations_per_client: int = 30,
+    read_fraction: float = 0.85,
+    num_keys: int = 64,
+    zipf_s: float = 0.99,
+    seed: int = 7,
+    check: bool = True,
+) -> KVBenchRow:
+    """Run one (shards, window) configuration and measure it."""
+    kv = KVCluster(
+        protocol=protocol,
+        num_processes=num_processes,
+        num_shards=shards,
+        batch_window=batch_window,
+        seed=seed,
+    )
+    kv.start()
+    keys = ZipfianKeys(num_keys=num_keys, s=zipf_s, seed=seed + 4)
+    runner = KVWorkloadRunner(
+        kv,
+        num_clients=num_clients,
+        operations_per_client=operations_per_client,
+        read_fraction=read_fraction,
+        keys=keys,
+        seed=seed + 4,
+    )
+    report = runner.run(timeout=300.0)
+    atomic = kv.check_atomicity().ok if check else True
+    return KVBenchRow(
+        shards=shards,
+        batch_window=batch_window,
+        clients=num_clients,
+        completed=report.completed,
+        aborted=report.aborted,
+        throughput=report.throughput,
+        mean_latency=report.mean_latency,
+        messages_sent=kv.network.messages_sent,
+        atomic=atomic,
+    )
+
+
+def run_kv_bench(
+    quick: bool = False,
+    protocol: str = "persistent",
+    shard_sweep: Optional[Sequence[int]] = None,
+    window_sweep: Optional[Sequence[float]] = None,
+    num_clients: int = 16,
+    operations_per_client: int = 30,
+) -> List[KVBenchRow]:
+    """The full sweep; ``quick`` trims it to a CI-sized smoke run."""
+    if shard_sweep is None:
+        shard_sweep = (1, 8) if quick else SHARD_SWEEP
+    if window_sweep is None:
+        window_sweep = (0.0, 2e-5) if quick else WINDOW_SWEEP
+    if quick:
+        operations_per_client = min(operations_per_client, 10)
+    rows = [
+        run_kv_config(
+            shards,
+            batch_window=0.0,
+            protocol=protocol,
+            num_clients=num_clients,
+            operations_per_client=operations_per_client,
+        )
+        for shards in shard_sweep
+    ]
+    rows.extend(
+        run_kv_config(
+            WINDOW_SWEEP_SHARDS,
+            batch_window=window,
+            protocol=protocol,
+            num_clients=num_clients,
+            operations_per_client=operations_per_client,
+        )
+        for window in window_sweep
+        if window > 0.0
+    )
+    return rows
+
+
+def format_kv_bench(rows: Sequence[KVBenchRow]) -> str:
+    """Render the sweep as the table the CLI prints."""
+    header = (
+        f"{'shards':>6}  {'window':>9}  {'clients':>7}  {'ops':>6}  "
+        f"{'throughput':>12}  {'mean lat':>10}  {'messages':>9}  {'atomic':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.shards:>6}  {row.window_us:>7.0f}us  {row.clients:>7}  "
+            f"{row.completed:>6}  {row.throughput:>8,.0f} o/s  "
+            f"{row.latency_us:>8,.0f}us  {row.messages_sent:>9}  "
+            f"{'yes' if row.atomic else 'NO':>6}"
+        )
+    baseline = next((r for r in rows if r.shards == 1 and r.batch_window == 0.0), None)
+    best = max(rows, key=lambda r: r.throughput)
+    if baseline is not None and baseline.throughput > 0:
+        lines.append(
+            f"\nbest configuration: {best.shards} shards, "
+            f"{best.window_us:.0f}us window -> "
+            f"{best.throughput / baseline.throughput:.2f}x the 1-shard serial baseline"
+        )
+    return "\n".join(lines)

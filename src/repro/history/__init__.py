@@ -11,7 +11,9 @@ This package is the correctness machinery of the reproduction:
 * :mod:`repro.history.register_checker` -- a scalable white-box checker
   that verifies the tag-based partial order of Lemmas 1-3;
 * :mod:`repro.history.causal_logs` -- engine-level accounting of the
-  paper's cost metric (causal logs per operation).
+  paper's cost metric (causal logs per operation);
+* :mod:`repro.history.partition` -- projection of a multi-register
+  (key-value) run onto per-register histories the checkers accept.
 """
 
 from repro.history.causal_logs import CausalDepthTracker
@@ -22,6 +24,7 @@ from repro.history.checker import (
 )
 from repro.history.events import Crash, HistoryEvent, Invoke, Recover, Reply
 from repro.history.history import History, OperationRecord
+from repro.history.partition import partition_history
 from repro.history.recorder import HistoryRecorder
 
 __all__ = [
@@ -37,4 +40,5 @@ __all__ = [
     "Reply",
     "check_persistent_atomicity",
     "check_transient_atomicity",
+    "partition_history",
 ]

@@ -29,6 +29,10 @@ class OperationMeta:
     tag: Optional[Tag] = None
     causal_logs: Optional[int] = None
     messages_sent: int = 0
+    #: Register instance the operation targeted (``None`` for the
+    #: classic single-register runs); the KV layer records the key here
+    #: so histories can be partitioned per register afterwards.
+    register: Optional[str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -69,6 +73,10 @@ class HistoryRecorder:
         """Attach the measured causal-log count of an operation."""
         self.meta.setdefault(op, OperationMeta()).causal_logs = depth
 
+    def record_register(self, op: OperationId, register: Optional[str]) -> None:
+        """Attach the register instance an operation targeted."""
+        self.meta.setdefault(op, OperationMeta()).register = register
+
     def causal_logs(self, op: OperationId) -> Optional[int]:
         meta = self.meta.get(op)
         return meta.causal_logs if meta else None
@@ -76,3 +84,7 @@ class HistoryRecorder:
     def tag_of(self, op: OperationId) -> Optional[Tag]:
         meta = self.meta.get(op)
         return meta.tag if meta else None
+
+    def register_of(self, op: OperationId) -> Optional[str]:
+        meta = self.meta.get(op)
+        return meta.register if meta else None

@@ -141,6 +141,42 @@ class StableView:
     def keys(self) -> List[str]:
         return list(self._records)
 
+    def scoped(self, prefix: str) -> "StableView":
+        """A view of the same durable dictionary under a key prefix.
+
+        Multi-register hosts give each protocol instance a scoped view
+        (and prefix that instance's :class:`Store` keys the same way),
+        so many register emulations can share one process's stable
+        storage without their ``written``/``writing`` records
+        colliding.  Scoping composes: a scoped view can be scoped
+        again.
+        """
+        return _ScopedStableView(self._records, prefix)
+
+
+class _ScopedStableView(StableView):
+    """A :class:`StableView` that prefixes every key it is asked for."""
+
+    def __init__(self, records: Dict[str, Tuple[Any, ...]], prefix: str):
+        super().__init__(records)
+        self._prefix = prefix
+
+    def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
+        return self._records.get(self._prefix + key)
+
+    def __contains__(self, key: str) -> bool:
+        return self._prefix + key in self._records
+
+    def keys(self) -> List[str]:
+        return [
+            key[len(self._prefix):]
+            for key in self._records
+            if key.startswith(self._prefix)
+        ]
+
+    def scoped(self, prefix: str) -> "StableView":
+        return _ScopedStableView(self._records, self._prefix + prefix)
+
 
 # ---------------------------------------------------------------------------
 # Base protocol
@@ -177,6 +213,12 @@ class RegisterProtocol(ABC):
     name: ClassVar[str] = "abstract"
     #: Whether the algorithm tolerates crash-recovery (vs. crash-stop).
     supports_recovery: ClassVar[bool] = False
+    #: Identity of the register instance this state machine emulates,
+    #: set by multi-register hosts (``None`` for the classic
+    #: single-register deployment).  Protocols never read it -- the
+    #: host routes messages and scopes storage on their behalf -- but
+    #: traces and debuggers want to know which instance they look at.
+    register: Optional[str] = None
 
     def __init__(self, pid: ProcessId, num_processes: int, stable: StableView):
         if num_processes < 1:

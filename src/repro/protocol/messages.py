@@ -21,12 +21,35 @@ current round's quorum.  Acks echo both.
 Messages also declare their billable payload size so the network can
 charge size-dependent delays (Figure 6 bottom).  ``HEADER_SIZE`` covers
 opcode, op id, round and tag fields.
+
+Register multiplexing
+---------------------
+
+The base algorithms emulate exactly one register, so their messages
+carry no object identity.  The key-value layer
+(:mod:`repro.kv`) multiplexes many *register instances* over the same
+set of processes by namespacing the wire traffic:
+
+* a :class:`RegisterFrame` pairs one protocol message with the id of
+  the register instance it belongs to (plus the causal-log depth
+  context that single-register envelopes carry at the engine level);
+* a :class:`MuxBatch` is the only multiplexed message that actually
+  crosses the wire: one datagram carrying one or more frames.  Frames
+  addressed to the same destination within a node's batch window share
+  the datagram, which is what turns several same-shard operations into
+  a single quorum round-trip.
+
+Hosts demultiplex an incoming :class:`MuxBatch` frame by frame,
+routing each inner message to the protocol instance registered under
+the frame's register id.  Protocol state machines never see the
+wrappers -- multiplexing stays an engine concern, exactly like the
+causal-log accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, ClassVar, Optional
+from typing import Any, ClassVar, Optional, Tuple
 
 from repro.common.ids import OperationId
 from repro.common.timestamps import Tag
@@ -34,6 +57,10 @@ from repro.common.values import payload_size
 
 #: Fixed per-message framing overhead, in bytes.
 HEADER_SIZE = 32
+
+#: Per-frame overhead of register multiplexing (length prefix of the
+#: register id plus the frame's depth field), in bytes.
+FRAME_OVERHEAD = 8
 
 
 @dataclass(frozen=True)
@@ -125,3 +152,46 @@ class ReadAck(Message):
     @property
     def size(self) -> int:
         return HEADER_SIZE + payload_size(self.value)
+
+
+@dataclass(frozen=True)
+class RegisterFrame:
+    """One register instance's message inside a :class:`MuxBatch`.
+
+    ``register`` names the virtual register instance (the KV layer uses
+    the key itself); ``depth`` is the causal-log depth context the
+    single-register engine would have carried in the delivery envelope
+    (see :mod:`repro.history.causal_logs`).  Frames are not messages:
+    they only travel inside a batch.
+    """
+
+    register: str
+    depth: int
+    message: Message
+
+    @property
+    def size(self) -> int:
+        """Billable bytes: register tag plus the full inner message.
+
+        The inner header (op id, round, tag fields) is a real per-frame
+        cost; only the datagram framing is shared across the batch.
+        """
+        return FRAME_OVERHEAD + len(self.register) + self.message.size
+
+
+@dataclass(frozen=True)
+class MuxBatch(Message):
+    """One datagram multiplexing frames of several register instances.
+
+    ``op``/``round_no`` are meaningless at the batch level (each frame
+    carries its own); hosts construct batches with ``op=None`` and
+    ``round_no=0``.  Batching is transparent to the protocols: the
+    receiving host dispatches each frame's inner message to the
+    protocol instance registered under the frame's register id.
+    """
+
+    frames: Tuple[RegisterFrame, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return HEADER_SIZE + sum(frame.size for frame in self.frames)

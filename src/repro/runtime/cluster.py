@@ -14,6 +14,14 @@ and exposes both an async API and a blocking wrapper::
 Every node gets a private storage directory under ``storage_root``
 (a temporary directory by default), so crash/recovery really does go
 through the filesystem.
+
+Like the simulated cluster, a live cluster can host named register
+instances over the same UDP nodes -- one per key -- addressed with the
+``key`` argument of :meth:`LiveCluster.write`/:meth:`LiveCluster.read`
+(messages travel register-namespaced, storage files key-prefixed)::
+
+    cluster.write(0, 1000, key="limits.rps")
+    assert cluster.read(2, key="limits.rps") == 1000
 """
 
 from __future__ import annotations
@@ -110,11 +118,33 @@ class LiveCluster:
             node.boot()
         await asyncio.gather(*(node.wait_ready() for node in self.nodes))
 
-    async def awrite(self, pid: ProcessId, value: Any) -> None:
-        await self.nodes[pid].write(value, timeout=self.op_timeout)
+    async def aensure_register(self, key: str) -> None:
+        """Provision register instance ``key`` on every node.
 
-    async def aread(self, pid: ProcessId) -> Any:
-        handle = await self.nodes[pid].read(timeout=self.op_timeout)
+        Crashed nodes get the slot dormant and boot it when they
+        recover; only live nodes are awaited for readiness.
+        """
+        for node in self.nodes:
+            node.provision_register(key)
+        await asyncio.gather(
+            *(
+                node.wait_register_ready(key, timeout=self.op_timeout)
+                for node in self.nodes
+                if not node.crashed
+            )
+        )
+
+    async def awrite(
+        self, pid: ProcessId, value: Any, key: Optional[str] = None
+    ) -> None:
+        if key is not None and not self.nodes[pid].has_register(key):
+            await self.aensure_register(key)
+        await self.nodes[pid].write(value, timeout=self.op_timeout, register=key)
+
+    async def aread(self, pid: ProcessId, key: Optional[str] = None) -> Any:
+        if key is not None and not self.nodes[pid].has_register(key):
+            await self.aensure_register(key)
+        handle = await self.nodes[pid].read(timeout=self.op_timeout, register=key)
         return handle.future.result()
 
     async def aclose(self) -> None:
@@ -147,13 +177,17 @@ class LiveCluster:
         future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
         return future.result(timeout=max(self.op_timeout * 2, 30.0))
 
-    def write(self, pid: ProcessId, value: Any) -> None:
-        """Blocking write at node ``pid``."""
-        self._call(self.awrite(pid, value))
+    def write(self, pid: ProcessId, value: Any, key: Optional[str] = None) -> None:
+        """Blocking write at node ``pid`` (``key`` names a register instance)."""
+        self._call(self.awrite(pid, value, key=key))
 
-    def read(self, pid: ProcessId) -> Any:
-        """Blocking read at node ``pid``."""
-        return self._call(self.aread(pid))
+    def read(self, pid: ProcessId, key: Optional[str] = None) -> Any:
+        """Blocking read at node ``pid`` (``key`` names a register instance)."""
+        return self._call(self.aread(pid, key=key))
+
+    def ensure_register(self, key: str) -> None:
+        """Blocking provisioning of register instance ``key``."""
+        self._call(self.aensure_register(key))
 
     def crash_node(self, pid: ProcessId) -> None:
         """Emulate a crash of node ``pid``."""

@@ -1,23 +1,32 @@
-"""Asyncio host for one protocol instance.
+"""Asyncio host for a process's protocol instances.
 
 Mirrors :class:`repro.sim.node.SimNode` -- effect execution, causal-log
-accounting, crash/recovery semantics -- on real time and real I/O:
+accounting, crash/recovery semantics, multi-register hosting -- on real
+time and real I/O:
 
 * :class:`~repro.protocol.base.Store` effects run the file write (with
   ``fsync``) in a thread-pool executor, completing the protocol event
   when durable;
 * :class:`~repro.protocol.base.SetTimer` uses ``loop.call_later``;
 * crash emulation mutes the transport, cancels timers, voids in-flight
-  stores via an incarnation counter, and wipes the protocol's volatile
+  stores via an incarnation counter, and wipes the protocols' volatile
   state -- everything a real ``kill -9`` would do to the algorithm,
   inside one OS process so tests stay hermetic.
+
+Like the simulated node, a runtime node boots with one anonymous
+register slot and can host additional named register instances
+(:meth:`RuntimeNode.provision_register`) for the key-value layer.
+Named-slot traffic crosses the UDP transport wrapped in single-frame
+:class:`~repro.protocol.messages.MuxBatch` datagrams; the simulator's
+time-window egress coalescing has no equivalent here yet (real-time
+batching needs flow-control decisions the runtime does not make).
 """
 
 from __future__ import annotations
 
 import asyncio
 from pathlib import Path
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.common.errors import (
     NotRecoveredError,
@@ -39,7 +48,7 @@ from repro.protocol.base import (
     StableView,
     Store,
 )
-from repro.protocol.messages import Message
+from repro.protocol.messages import Message, MuxBatch, RegisterFrame
 from repro.runtime.storage import FileStableStorage
 from repro.runtime.transport import UdpTransport
 
@@ -47,12 +56,29 @@ from repro.runtime.transport import UdpTransport
 class RuntimeOperation:
     """Client handle: an :class:`asyncio.Future` plus metadata."""
 
-    def __init__(self, op: OperationId, kind: str, value: Any):
+    def __init__(self, op: OperationId, kind: str, value: Any,
+                 register: Optional[str] = None):
         self.op = op
         self.kind = kind
         self.value = value
+        self.register = register
         self.future: asyncio.Future = asyncio.get_event_loop().create_future()
         self.causal_logs: Optional[int] = None
+
+
+class _RuntimeSlot:
+    """One hosted register instance of a runtime node."""
+
+    __slots__ = ("register", "prefix", "protocol", "current", "ready", "booted")
+
+    def __init__(self, register: Optional[str], prefix: str,
+                 protocol: RegisterProtocol):
+        self.register = register
+        self.prefix = prefix
+        self.protocol = protocol
+        self.current: Optional[RuntimeOperation] = None
+        self.ready = False
+        self.booted = False
 
 
 class RuntimeNode:
@@ -74,15 +100,61 @@ class RuntimeNode:
         self.storage = FileStableStorage(Path(storage_root) / f"node-{pid}")
         self._factory = protocol_factory
         self._recorder = recorder
-        self.protocol: RegisterProtocol = protocol_factory(
-            pid, num_processes, StableView(self.storage.records)
-        )
+        self._slots: Dict[Optional[str], _RuntimeSlot] = {}
+        self._slots[None] = self._make_slot(None)
         self._depths = CausalDepthTracker()
-        self._timers: Dict[Hashable, asyncio.TimerHandle] = {}
-        self._current: Optional[RuntimeOperation] = None
+        self._timers: Dict[Tuple[Optional[str], Hashable], asyncio.TimerHandle] = {}
         self.crashed = False
-        self.ready = False
         self.incarnation = 0
+        self._booted = False
+
+    def _make_slot(self, register: Optional[str]) -> _RuntimeSlot:
+        prefix = "" if register is None else f"{register}/"
+        stable = StableView(self.storage.records)
+        if register is not None:
+            stable = stable.scoped(prefix)
+        protocol = self._factory(self.pid, self.num_processes, stable)
+        protocol.register = register
+        return _RuntimeSlot(register, prefix, protocol)
+
+    # -- register hosting --------------------------------------------------
+
+    @property
+    def protocol(self) -> RegisterProtocol:
+        """The default (anonymous) register's protocol instance."""
+        return self._slots[None].protocol
+
+    @property
+    def ready(self) -> bool:
+        if self.crashed:
+            return False
+        return all(slot.ready for slot in self._slots.values())
+
+    def has_register(self, register: Optional[str]) -> bool:
+        return register in self._slots
+
+    def register_ready(self, register: Optional[str]) -> bool:
+        slot = self._slots.get(register)
+        return slot is not None and slot.ready and not self.crashed
+
+    def provision_register(self, register: str) -> None:
+        """Host a new named register instance (idempotent).
+
+        Boots immediately on a live node; dormant until recovery on a
+        crashed one.
+        """
+        if register in self._slots:
+            return
+        slot = self._make_slot(register)
+        self._slots[register] = slot
+        if self._booted and not self.crashed:
+            self._boot_slot(slot)
+
+    def _slot(self, register: Optional[str]) -> _RuntimeSlot:
+        slot = self._slots.get(register)
+        if slot is None:
+            raise ProtocolError(f"node {self.pid} hosts no register {register!r}")
+        return slot
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -91,43 +163,69 @@ class RuntimeNode:
         await self.transport.start(self._on_message)
 
     def boot(self) -> None:
-        """Run the protocol's Initialize procedure."""
-        self._execute(self.protocol.initialize(), depth=0, op=None)
+        """Run every slot's Initialize procedure."""
+        self._booted = True
+        for slot in list(self._slots.values()):
+            self._boot_slot(slot)
+
+    def _boot_slot(self, slot: _RuntimeSlot) -> None:
+        slot.booted = True
+        self._execute(slot.protocol.initialize(), depth=0, op=None, slot=slot)
 
     def crash(self) -> None:
         """Emulate a crash of this process."""
         if self.crashed:
             raise ProcessCrashed(f"node {self.pid} already crashed")
         self.crashed = True
-        self.ready = False
         self.incarnation += 1
         self.transport.muted = True
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
-        self.protocol.crash()
         self._depths.reset()
-        if self._current is not None and not self._current.future.done():
-            self._current.future.cancel()
-        self._current = None
+        for slot in self._slots.values():
+            slot.protocol.crash()
+            slot.ready = False
+            if slot.current is not None and not slot.current.future.done():
+                slot.current.future.cancel()
+            slot.current = None
         self._recorder.record_crash(self.pid)
 
     def recover(self) -> None:
-        """Restart: reload durable state and run the recovery procedure."""
+        """Restart: reload durable state and run every recovery procedure."""
         if not self.crashed:
             raise ProtocolError(f"node {self.pid} is not crashed")
         self.crashed = False
         self.transport.muted = False
         self.storage.reload_from_disk()
-        self.protocol.stable = StableView(self.storage.records)
         self._recorder.record_recovery(self.pid)
-        self._execute(self.protocol.recover(), depth=0, op=None)
+        base = StableView(self.storage.records)
+        for slot in list(self._slots.values()):
+            if slot.register is None:
+                slot.protocol.stable = base
+            else:
+                slot.protocol.stable = base.scoped(slot.prefix)
+            if not slot.booted:
+                self._boot_slot(slot)
+                continue
+            self._execute(slot.protocol.recover(), depth=0, op=None, slot=slot)
 
     async def wait_ready(self, timeout: float = 5.0) -> None:
         deadline = asyncio.get_event_loop().time() + timeout
         while not self.ready:
             if asyncio.get_event_loop().time() > deadline:
                 raise ProtocolError(f"node {self.pid} did not become ready")
+            await asyncio.sleep(0.005)
+
+    async def wait_register_ready(
+        self, register: str, timeout: float = 5.0
+    ) -> None:
+        deadline = asyncio.get_event_loop().time() + timeout
+        while not self.register_ready(register):
+            if asyncio.get_event_loop().time() > deadline:
+                raise ProtocolError(
+                    f"node {self.pid} register {register!r} did not become ready"
+                )
             await asyncio.sleep(0.005)
 
     def close(self) -> None:
@@ -138,29 +236,43 @@ class RuntimeNode:
 
     # -- client operations -----------------------------------------------------
 
-    async def write(self, value: Any, timeout: float = 10.0) -> RuntimeOperation:
-        return await self._invoke("write", value, timeout)
+    async def write(
+        self, value: Any, timeout: float = 10.0, register: Optional[str] = None
+    ) -> RuntimeOperation:
+        return await self._invoke("write", value, timeout, register)
 
-    async def read(self, timeout: float = 10.0) -> RuntimeOperation:
-        return await self._invoke("read", None, timeout)
+    async def read(
+        self, timeout: float = 10.0, register: Optional[str] = None
+    ) -> RuntimeOperation:
+        return await self._invoke("read", None, timeout, register)
 
-    async def _invoke(self, kind: str, value: Any, timeout: float) -> RuntimeOperation:
+    async def _invoke(
+        self, kind: str, value: Any, timeout: float, register: Optional[str]
+    ) -> RuntimeOperation:
         if self.crashed:
             raise ProcessCrashed(f"node {self.pid} is crashed")
-        if not self.ready:
-            raise NotRecoveredError(f"node {self.pid} is not ready")
-        if self._current is not None and not self._current.future.done():
-            raise ProtocolError(f"node {self.pid} has an operation in flight")
+        slot = self._slot(register)
+        if not slot.ready:
+            raise NotRecoveredError(
+                f"node {self.pid} register {register!r} is not ready"
+            )
+        if slot.current is not None and not slot.current.future.done():
+            raise ProtocolError(
+                f"node {self.pid} has an operation in flight on "
+                f"register {register!r}"
+            )
         op = make_operation_id(self.pid)
-        handle = RuntimeOperation(op, kind, value)
-        self._current = handle
+        handle = RuntimeOperation(op, kind, value, register=register)
+        slot.current = handle
         self._recorder.record_invoke(op, self.pid, kind, value)
+        if register is not None:
+            self._recorder.record_register(op, register)
         self._depths.observe(op, 0)
         if kind == "write":
-            effects = self.protocol.invoke_write(op, value)
+            effects = slot.protocol.invoke_write(op, value)
         else:
-            effects = self.protocol.invoke_read(op)
-        self._execute(effects, depth=0, op=op)
+            effects = slot.protocol.invoke_read(op)
+        self._execute(effects, depth=0, op=op, slot=slot)
         await asyncio.wait_for(handle.future, timeout=timeout)
         return handle
 
@@ -169,69 +281,110 @@ class RuntimeNode:
     def _on_message(self, src: ProcessId, depth: int, message: Message) -> None:
         if self.crashed:
             return
+        if isinstance(message, MuxBatch):
+            for frame in message.frames:
+                slot = self._slots.get(frame.register)
+                if slot is None:
+                    continue  # provisioning raced a delivery; sender retries
+                inner = frame.message
+                context = self._depths.observe(inner.op, frame.depth)
+                effects = slot.protocol.on_message(src, inner)
+                self._execute(effects, depth=context, op=inner.op, slot=slot)
+            return
+        slot = self._slots[None]
         context = self._depths.observe(message.op, depth)
-        effects = self.protocol.on_message(src, message)
-        self._execute(effects, depth=context, op=message.op)
+        effects = slot.protocol.on_message(src, message)
+        self._execute(effects, depth=context, op=message.op, slot=slot)
 
     def _on_store_durable(
-        self, token: Hashable, issue_depth: int, op: Optional[OperationId], incarnation: int
+        self,
+        token: Hashable,
+        issue_depth: int,
+        op: Optional[OperationId],
+        incarnation: int,
+        register: Optional[str],
     ) -> None:
         if incarnation != self.incarnation or self.crashed:
+            return
+        slot = self._slots.get(register)
+        if slot is None:
             return
         depth = self._depths.record_store(op, issue_depth)
-        effects = self.protocol.on_store_complete(token)
-        self._execute(effects, depth=depth, op=op)
+        effects = slot.protocol.on_store_complete(token)
+        self._execute(effects, depth=depth, op=op, slot=slot)
 
     def _on_timer(
-        self, token: Hashable, depth: int, op: Optional[OperationId], incarnation: int
+        self,
+        token: Hashable,
+        depth: int,
+        op: Optional[OperationId],
+        incarnation: int,
+        register: Optional[str],
     ) -> None:
         if incarnation != self.incarnation or self.crashed:
             return
-        self._timers.pop(token, None)
-        effects = self.protocol.on_timer(token)
-        self._execute(effects, depth=depth, op=op)
+        slot = self._slots.get(register)
+        if slot is None:
+            return
+        self._timers.pop((register, token), None)
+        effects = slot.protocol.on_timer(token)
+        self._execute(effects, depth=depth, op=op, slot=slot)
 
     # -- effect execution ----------------------------------------------------------
 
     def _execute(
-        self, effects: List[Effect], depth: int, op: Optional[OperationId]
+        self,
+        effects: List[Effect],
+        depth: int,
+        op: Optional[OperationId],
+        slot: _RuntimeSlot,
     ) -> None:
         loop = asyncio.get_event_loop()
         for effect in effects:
             if isinstance(effect, Send):
+                out_depth = self._outgoing_depth(effect.message, depth, op)
                 self.transport.send(
-                    effect.dst,
-                    self._outgoing_depth(effect.message, depth, op),
-                    effect.message,
+                    effect.dst, out_depth, self._wrap(slot, effect.message, out_depth)
                 )
             elif isinstance(effect, Broadcast):
+                out_depth = self._outgoing_depth(effect.message, depth, op)
                 self.transport.broadcast(
-                    self._outgoing_depth(effect.message, depth, op), effect.message
+                    out_depth, self._wrap(slot, effect.message, out_depth)
                 )
             elif isinstance(effect, Store):
-                self._spawn_store(effect, depth, op)
+                self._spawn_store(effect, depth, op, slot)
             elif isinstance(effect, Reply):
-                self._complete(effect, depth)
+                self._complete(effect, depth, slot)
             elif isinstance(effect, SetTimer):
-                existing = self._timers.pop(effect.token, None)
+                key = (slot.register, effect.token)
+                existing = self._timers.pop(key, None)
                 if existing is not None:
                     existing.cancel()
-                self._timers[effect.token] = loop.call_later(
+                self._timers[key] = loop.call_later(
                     effect.delay,
                     self._on_timer,
                     effect.token,
                     depth,
                     op,
                     self.incarnation,
+                    slot.register,
                 )
             elif isinstance(effect, CancelTimer):
-                handle = self._timers.pop(effect.token, None)
+                handle = self._timers.pop((slot.register, effect.token), None)
                 if handle is not None:
                     handle.cancel()
             elif isinstance(effect, RecoveryComplete):
-                self.ready = True
+                slot.ready = True
             else:
                 raise ProtocolError(f"unknown effect {type(effect).__name__}")
+
+    @staticmethod
+    def _wrap(slot: _RuntimeSlot, message: Message, depth: int) -> Message:
+        """Namespace a named slot's message; default slot sends raw."""
+        if slot.register is None:
+            return message
+        frame = RegisterFrame(register=slot.register, depth=depth, message=message)
+        return MuxBatch(op=None, round_no=0, frames=(frame,))
 
     def _outgoing_depth(
         self, message: Message, handler_depth: int, handler_op: Optional[OperationId]
@@ -242,21 +395,27 @@ class RuntimeNode:
         return self._depths.outgoing_depth(message.op, inherited)
 
     def _spawn_store(
-        self, effect: Store, depth: int, op: Optional[OperationId]
+        self,
+        effect: Store,
+        depth: int,
+        op: Optional[OperationId],
+        slot: _RuntimeSlot,
     ) -> None:
         loop = asyncio.get_event_loop()
         incarnation = self.incarnation
+        key = slot.prefix + effect.key
+        register = slot.register
 
         async def run() -> None:
             await loop.run_in_executor(
-                None, self.storage.store, effect.key, effect.record, effect.size
+                None, self.storage.store, key, effect.record, effect.size
             )
-            self._on_store_durable(effect.token, depth, op, incarnation)
+            self._on_store_durable(effect.token, depth, op, incarnation, register)
 
         loop.create_task(run())
 
-    def _complete(self, effect: Reply, depth: int) -> None:
-        handle = self._current
+    def _complete(self, effect: Reply, depth: int, slot: _RuntimeSlot) -> None:
+        handle = slot.current
         if handle is None or handle.op != effect.op:
             raise ProtocolError(f"node {self.pid} replied to unknown op {effect.op}")
         causal = max(depth, self._depths.depth_of(effect.op))
@@ -265,6 +424,6 @@ class RuntimeNode:
         self._recorder.record_causal_logs(effect.op, causal)
         if effect.tag is not None:
             self._recorder.record_tag(effect.op, effect.tag)
-        self._current = None
+        slot.current = None
         if not handle.future.done():
             handle.future.set_result(effect.result)

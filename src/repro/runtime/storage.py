@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -40,8 +41,12 @@ class FileStableStorage:
         return self._records
 
     def _path(self, key: str) -> Path:
+        # Sanitizing alone could collide two keys ("a/written" vs
+        # "a_written"), which matters now that register instances
+        # prefix their keys; a content hash keeps filenames unique.
         safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in key)
-        return self._root / f"{safe}{_SUFFIX}"
+        digest = zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+        return self._root / f"{safe}.{digest:08x}{_SUFFIX}"
 
     def _load(self) -> None:
         for path in self._root.glob(f"*{_SUFFIX}"):

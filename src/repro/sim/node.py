@@ -1,26 +1,42 @@
-"""Simulated process: hosts one protocol instance and executes effects.
+"""Simulated process: hosts protocol instances and executes effects.
 
 A :class:`SimNode` is the crash-recovery *process* of the model
 (Section II).  It owns:
 
-* the protocol state machine (volatile -- wiped by a crash);
+* one or more protocol state machines (volatile -- wiped by a crash);
 * a :class:`~repro.sim.storage.SimStableStorage` (durable);
-* the timers armed by the protocol (volatile);
+* the timers armed by the protocols (volatile);
 * the causal-depth tracker used for the paper's log-complexity metric.
+
+Multi-register hosting.  The paper's algorithms emulate one register;
+a node therefore boots with a single anonymous *register slot* and
+behaves exactly like the original single-register process.  The
+key-value layer (:mod:`repro.kv`) provisions additional named slots
+with :meth:`SimNode.provision_register`: each slot runs its own
+protocol instance over a key-prefixed view of the node's stable
+storage, client operations address a slot by register id (at most one
+operation in flight *per slot* -- each virtual register is a sequential
+process of the model), and wire traffic of named slots is namespaced in
+:class:`~repro.protocol.messages.RegisterFrame` entries of
+:class:`~repro.protocol.messages.MuxBatch` datagrams.  Frames to the
+same destination emitted within the node's ``batch_window`` of virtual
+time coalesce into a single datagram, which is how the KV layer turns
+several same-shard operations into one quorum round-trip.
 
 Crash semantics.  ``crash()`` bumps the node's *incarnation* counter;
 every callback scheduled on behalf of the previous incarnation (timers,
-store completions, message deliveries already queued) checks the
-incarnation and becomes a no-op.  The protocol object's volatile state
-is wiped in place and pending client operations abort (their
+store completions, egress flushes, message deliveries already queued)
+checks the incarnation and becomes a no-op.  Every slot's volatile
+state is wiped in place and pending client operations abort (their
 invocations stay pending in the recorded history).  ``recover()`` runs
-the protocol's recovery procedure; client operations are rejected until
-it signals :class:`~repro.protocol.base.RecoveryComplete`.
+every slot's recovery procedure (or first boot, for slots provisioned
+while the node was down); client operations are rejected until the
+slot signals :class:`~repro.protocol.base.RecoveryComplete`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.common.errors import (
     NotRecoveredError,
@@ -30,7 +46,7 @@ from repro.common.errors import (
 from repro.common.ids import OperationId, ProcessId, make_operation_id
 from repro.history.causal_logs import CausalDepthTracker
 from repro.history.recorder import HistoryRecorder
-from repro.protocol.messages import Message
+from repro.protocol.messages import Message, MuxBatch, RegisterFrame
 from repro.protocol.base import (
     Broadcast,
     CancelTimer,
@@ -56,6 +72,10 @@ UP = "up"
 CRASHED = "crashed"
 RECOVERING = "recovering"
 
+#: Register id of the anonymous single-register slot every node boots
+#: with (the classic deployment of the paper's algorithms).
+DEFAULT_REGISTER: Optional[str] = None
+
 
 class SimOperation:
     """Client-side handle of one invoked operation."""
@@ -65,6 +85,7 @@ class SimOperation:
         "pid",
         "kind",
         "value",
+        "register",
         "done",
         "aborted",
         "result",
@@ -74,11 +95,19 @@ class SimOperation:
         "_callbacks",
     )
 
-    def __init__(self, op: OperationId, pid: ProcessId, kind: str, value: Any):
+    def __init__(
+        self,
+        op: OperationId,
+        pid: ProcessId,
+        kind: str,
+        value: Any,
+        register: Optional[str] = None,
+    ):
         self.op = op
         self.pid = pid
         self.kind = kind
         self.value = value
+        self.register = register
         self.done = False
         self.aborted = False
         self.result: Any = None
@@ -118,6 +147,25 @@ class SimOperation:
         return f"SimOperation({self.op}, {self.kind}, {state})"
 
 
+class _RegisterSlot:
+    """One hosted register instance: protocol plus per-slot bookkeeping."""
+
+    __slots__ = ("register", "prefix", "protocol", "current", "ready", "booted")
+
+    def __init__(self, register: Optional[str], prefix: str, protocol: RegisterProtocol):
+        self.register = register
+        #: Stable-storage key prefix of this slot ("" for the default).
+        self.prefix = prefix
+        self.protocol = protocol
+        #: Client operation in flight on this slot, if any.
+        self.current: Optional[SimOperation] = None
+        #: Whether the slot finished initialize/recover.
+        self.ready = False
+        #: Whether initialize() ever ran (slots provisioned while the
+        #: node was crashed boot for the first time during recovery).
+        self.booted = False
+
+
 class SimNode:
     """One simulated crash-recovery process."""
 
@@ -131,7 +179,10 @@ class SimNode:
         recorder: HistoryRecorder,
         trace: Trace,
         num_processes: int,
+        batch_window: float = 0.0,
     ):
+        if batch_window < 0:
+            raise ProtocolError("batch_window must be >= 0")
         self.pid = pid
         self._kernel = kernel
         self._network = network
@@ -140,52 +191,130 @@ class SimNode:
         self._recorder = recorder
         self._trace = trace
         self._num_processes = num_processes
+        self.batch_window = batch_window
 
         self.state = UP
-        self.ready = False
         self.incarnation = 0
         self.crash_count = 0
+        self._booted = False
 
         self._stable_view = StableView(storage.records)
-        self.protocol = protocol_factory(pid, num_processes, self._stable_view)
+        self._slots: Dict[Optional[str], _RegisterSlot] = {}
+        self._slots[DEFAULT_REGISTER] = self._make_slot(DEFAULT_REGISTER)
         self._depths = CausalDepthTracker()
-        self._timers: Dict[Hashable, EventHandle] = {}
-        self._current_handle: Optional[SimOperation] = None
+        self._timers: Dict[Tuple[Optional[str], Hashable], EventHandle] = {}
+        # Egress coalescing of named-slot frames, per destination.
+        self._pending_frames: Dict[ProcessId, List[RegisterFrame]] = {}
+        self._flush_scheduled: Set[ProcessId] = set()
 
         network.attach(pid, self._on_envelope)
+
+    def _make_slot(self, register: Optional[str]) -> _RegisterSlot:
+        if register is None:
+            prefix, stable = "", self._stable_view
+        else:
+            prefix = f"{register}/"
+            stable = self._stable_view.scoped(prefix)
+        protocol = self._factory(self.pid, self._num_processes, stable)
+        protocol.register = register
+        return _RegisterSlot(register, prefix, protocol)
+
+    # -- register hosting --------------------------------------------------
+
+    @property
+    def protocol(self) -> RegisterProtocol:
+        """The default (anonymous) register's protocol instance."""
+        return self._slots[DEFAULT_REGISTER].protocol
+
+    @property
+    def registers(self) -> List[Optional[str]]:
+        """Ids of all hosted register slots (``None`` is the default)."""
+        return list(self._slots)
+
+    def has_register(self, register: Optional[str]) -> bool:
+        return register in self._slots
+
+    def register_ready(self, register: Optional[str]) -> bool:
+        """Whether ``register`` exists, is initialized, and is idle-capable."""
+        slot = self._slots.get(register)
+        return slot is not None and slot.ready and self.state != CRASHED
+
+    def register_protocol(self, register: Optional[str]) -> RegisterProtocol:
+        return self._slot(register).protocol
+
+    def register_busy(self, register: Optional[str]) -> bool:
+        """Whether ``register`` has a client operation in flight."""
+        slot = self._slot(register)
+        if slot.current is not None and not slot.current.settled:
+            return True
+        return bool(getattr(slot.protocol, "busy", False))
+
+    def provision_register(self, register: str) -> None:
+        """Host a new named register instance on this node.
+
+        On an up-and-running node the slot initializes immediately (its
+        first records must become durable before it accepts
+        operations); on a crashed node the slot is created dormant and
+        boots when the node recovers.  Provisioning is idempotent.
+        """
+        if register is None:
+            raise ProtocolError("the default register always exists")
+        if register in self._slots:
+            return
+        slot = self._make_slot(register)
+        self._slots[register] = slot
+        if self._booted and self.state != CRASHED:
+            self._boot_slot(slot)
+
+    def _slot(self, register: Optional[str]) -> _RegisterSlot:
+        slot = self._slots.get(register)
+        if slot is None:
+            raise ProtocolError(
+                f"process {self.pid} hosts no register {register!r}"
+            )
+        return slot
 
     # -- lifecycle ---------------------------------------------------------
 
     def boot(self) -> None:
-        """Run the protocol's ``Initialize`` procedure."""
-        effects = self.protocol.initialize()
-        self._execute(effects, depth=0, op=None)
+        """Run every slot's ``Initialize`` procedure."""
+        self._booted = True
+        for slot in list(self._slots.values()):
+            self._boot_slot(slot)
+
+    def _boot_slot(self, slot: _RegisterSlot) -> None:
+        slot.booted = True
+        effects = slot.protocol.initialize()
+        self._execute(effects, depth=0, op=None, slot=slot)
 
     def crash(self) -> None:
         """Crash the process: volatile state and timers are lost."""
         if self.state == CRASHED:
             raise ProcessCrashed(f"process {self.pid} is already crashed")
         self.state = CRASHED
-        self.ready = False
         self.incarnation += 1
         self.crash_count += 1
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
+        self._pending_frames.clear()
+        self._flush_scheduled.clear()
         self._storage.crash()
-        self.protocol.crash()
         self._depths.reset()
-        if self._current_handle is not None and not self._current_handle.settled:
-            self._current_handle.aborted = True
-            self._current_handle._settle()
-        self._current_handle = None
+        for slot in self._slots.values():
+            slot.protocol.crash()
+            slot.ready = False
+            if slot.current is not None and not slot.current.settled:
+                slot.current.aborted = True
+                slot.current._settle()
+            slot.current = None
         self._recorder.record_crash(self.pid)
         self._trace.emit(
             TraceEvent(time=self._kernel.now, kind=tracing.CRASH, pid=self.pid)
         )
 
     def recover(self) -> None:
-        """Restart the process and run its recovery procedure."""
+        """Restart the process and run every slot's recovery procedure."""
         if self.state != CRASHED:
             raise ProtocolError(f"process {self.pid} is not crashed")
         self.state = RECOVERING
@@ -193,8 +322,20 @@ class SimNode:
         self._trace.emit(
             TraceEvent(time=self._kernel.now, kind=tracing.RECOVER, pid=self.pid)
         )
-        effects = self.protocol.recover()
-        self._execute(effects, depth=0, op=None)
+        for slot in list(self._slots.values()):
+            if not slot.booted:
+                # Provisioned while the node was down: first boot now.
+                self._boot_slot(slot)
+                continue
+            effects = slot.protocol.recover()
+            self._execute(effects, depth=0, op=None, slot=slot)
+
+    @property
+    def ready(self) -> bool:
+        """Whether every hosted slot finished initializing/recovering."""
+        if self.state == CRASHED:
+            return False
+        return all(slot.ready for slot in self._slots.values())
 
     @property
     def crashed(self) -> bool:
@@ -207,44 +348,53 @@ class SimNode:
 
     # -- client operations -----------------------------------------------------
 
-    def invoke_read(self) -> SimOperation:
+    def invoke_read(self, register: Optional[str] = None) -> SimOperation:
         """Invoke a read; returns a handle that settles as the run advances."""
-        return self._invoke("read", None)
+        return self._invoke("read", None, register)
 
-    def invoke_write(self, value: Any) -> SimOperation:
+    def invoke_write(
+        self, value: Any, register: Optional[str] = None
+    ) -> SimOperation:
         """Invoke a write of ``value``."""
-        return self._invoke("write", value)
+        return self._invoke("write", value, register)
 
-    def _invoke(self, kind: str, value: Any) -> SimOperation:
+    def _invoke(
+        self, kind: str, value: Any, register: Optional[str]
+    ) -> SimOperation:
         if self.state == CRASHED:
             raise ProcessCrashed(f"process {self.pid} is crashed")
-        if not self.ready:
+        slot = self._slot(register)
+        if not slot.ready:
             raise NotRecoveredError(
-                f"process {self.pid} has not finished initializing/recovering"
+                f"process {self.pid} register {register!r} has not finished "
+                f"initializing/recovering"
             )
-        if self._current_handle is not None and not self._current_handle.settled:
+        if slot.current is not None and not slot.current.settled:
             raise ProtocolError(
-                f"process {self.pid} already has an operation in flight"
+                f"process {self.pid} already has an operation in flight "
+                f"on register {register!r}"
             )
         op = make_operation_id(self.pid)
-        handle = SimOperation(op, self.pid, kind, value)
+        handle = SimOperation(op, self.pid, kind, value, register=register)
         handle.invoked_at = self._kernel.now
-        self._current_handle = handle
+        slot.current = handle
         self._recorder.record_invoke(op, self.pid, kind, value)
+        if register is not None:
+            self._recorder.record_register(op, register)
         self._trace.emit(
             TraceEvent(
                 time=self._kernel.now,
                 kind=tracing.INVOKE,
                 pid=self.pid,
-                detail={"op": op, "kind": kind},
+                detail={"op": op, "kind": kind, "register": register},
             )
         )
         self._depths.observe(op, 0)
         if kind == "read":
-            effects = self.protocol.invoke_read(op)
+            effects = slot.protocol.invoke_read(op)
         else:
-            effects = self.protocol.invoke_write(op, value)
-        self._execute(effects, depth=0, op=op)
+            effects = slot.protocol.invoke_write(op, value)
+        self._execute(effects, depth=0, op=op, slot=slot)
         return handle
 
     # -- event entry points ---------------------------------------------------
@@ -252,10 +402,25 @@ class SimNode:
     def _on_envelope(self, envelope: Envelope) -> None:
         if self.state == CRASHED:
             return  # a crashed process receives nothing
-        op = envelope.message.op
-        context = self._depths.observe(op, envelope.depth)
-        effects = self.protocol.on_message(envelope.src, envelope.message)
-        self._execute(effects, depth=context, op=op)
+        message = envelope.message
+        if isinstance(message, MuxBatch):
+            for frame in message.frames:
+                slot = self._slots.get(frame.register)
+                if slot is None:
+                    # A frame for a register this node does not host
+                    # yet (provisioning raced a delivery); drop it --
+                    # fair-lossy channels allow it, the sender
+                    # retransmits.
+                    continue
+                inner = frame.message
+                context = self._depths.observe(inner.op, frame.depth)
+                effects = slot.protocol.on_message(envelope.src, inner)
+                self._execute(effects, depth=context, op=inner.op, slot=slot)
+            return
+        slot = self._slots[DEFAULT_REGISTER]
+        context = self._depths.observe(message.op, envelope.depth)
+        effects = slot.protocol.on_message(envelope.src, message)
+        self._execute(effects, depth=context, op=message.op, slot=slot)
 
     def _on_store_durable(
         self,
@@ -263,12 +428,16 @@ class SimNode:
         issue_depth: int,
         op: Optional[OperationId],
         incarnation: int,
+        register: Optional[str],
     ) -> None:
         if incarnation != self.incarnation or self.state == CRASHED:
             return
+        slot = self._slots.get(register)
+        if slot is None:
+            return
         depth = self._depths.record_store(op, issue_depth)
-        effects = self.protocol.on_store_complete(token)
-        self._execute(effects, depth=depth, op=op)
+        effects = slot.protocol.on_store_complete(token)
+        self._execute(effects, depth=depth, op=op, slot=slot)
 
     def _on_timer(
         self,
@@ -276,63 +445,117 @@ class SimNode:
         depth: int,
         op: Optional[OperationId],
         incarnation: int,
+        register: Optional[str],
     ) -> None:
         if incarnation != self.incarnation or self.state == CRASHED:
             return
-        self._timers.pop(token, None)
+        slot = self._slots.get(register)
+        if slot is None:
+            return
+        self._timers.pop((register, token), None)
         self._trace.emit(
             TraceEvent(
                 time=self._kernel.now,
                 kind=tracing.TIMER,
                 pid=self.pid,
-                detail={"token": token},
+                detail={"token": token, "register": register},
             )
         )
-        effects = self.protocol.on_timer(token)
-        self._execute(effects, depth=depth, op=op)
+        effects = slot.protocol.on_timer(token)
+        self._execute(effects, depth=depth, op=op, slot=slot)
 
     # -- effect execution ----------------------------------------------------------
 
     def _execute(
-        self, effects: List[Effect], depth: int, op: Optional[OperationId]
+        self,
+        effects: List[Effect],
+        depth: int,
+        op: Optional[OperationId],
+        slot: _RegisterSlot,
     ) -> None:
         for effect in effects:
             if isinstance(effect, Send):
                 out_depth = self._outgoing_depth(effect.message, depth, op)
-                self._network.send(self.pid, effect.dst, effect.message, out_depth)
+                self._dispatch(slot, effect.dst, effect.message, out_depth)
             elif isinstance(effect, Broadcast):
                 out_depth = self._outgoing_depth(effect.message, depth, op)
-                self._network.broadcast(self.pid, effect.message, out_depth)
+                if slot.register is None:
+                    self._network.broadcast(self.pid, effect.message, out_depth)
+                else:
+                    for dst in range(self._num_processes):
+                        self._dispatch(slot, dst, effect.message, out_depth)
             elif isinstance(effect, Store):
                 self._storage.store(
-                    effect.key,
+                    slot.prefix + effect.key,
                     effect.record,
                     effect.size,
                     on_durable=self._make_store_callback(
-                        effect.token, depth, op, self.incarnation
+                        effect.token, depth, op, self.incarnation, slot.register
                     ),
                     op=op,
                 )
             elif isinstance(effect, Reply):
-                self._complete_operation(effect, depth)
+                self._complete_operation(effect, depth, slot)
             elif isinstance(effect, SetTimer):
-                self._set_timer(effect, depth, op)
+                self._set_timer(effect, depth, op, slot)
             elif isinstance(effect, CancelTimer):
-                handle = self._timers.pop(effect.token, None)
+                handle = self._timers.pop((slot.register, effect.token), None)
                 if handle is not None:
                     handle.cancel()
             elif isinstance(effect, RecoveryComplete):
-                self.state = UP
-                self.ready = True
+                slot.ready = True
+                if self.state != UP and all(
+                    s.ready for s in self._slots.values()
+                ):
+                    self.state = UP
                 self._trace.emit(
                     TraceEvent(
                         time=self._kernel.now,
                         kind=tracing.RECOVERY_DONE,
                         pid=self.pid,
+                        detail={"register": slot.register},
                     )
                 )
             else:
                 raise ProtocolError(f"unknown effect {type(effect).__name__}")
+
+    # -- egress multiplexing ---------------------------------------------------
+
+    def _dispatch(
+        self,
+        slot: _RegisterSlot,
+        dst: ProcessId,
+        message: Message,
+        depth: int,
+    ) -> None:
+        """Send directly (default slot) or through the frame batcher."""
+        if slot.register is None:
+            self._network.send(self.pid, dst, message, depth)
+            return
+        frame = RegisterFrame(register=slot.register, depth=depth, message=message)
+        if self.batch_window == 0.0:
+            # No window, no coalescing: one datagram per frame, the
+            # honest unbatched baseline the benchmarks sweep against.
+            self._network.send(
+                self.pid, dst, MuxBatch(op=None, round_no=0, frames=(frame,)), 0
+            )
+            return
+        self._pending_frames.setdefault(dst, []).append(frame)
+        if dst not in self._flush_scheduled:
+            self._flush_scheduled.add(dst)
+            self._kernel.schedule(
+                self.batch_window, self._flush_frames, dst, self.incarnation
+            )
+
+    def _flush_frames(self, dst: ProcessId, incarnation: int) -> None:
+        self._flush_scheduled.discard(dst)
+        frames = self._pending_frames.pop(dst, None)
+        if incarnation != self.incarnation or self.state == CRASHED:
+            return  # frames queued by a dead incarnation die with it
+        if not frames:
+            return
+        batch = MuxBatch(op=None, round_no=0, frames=tuple(frames))
+        self._network.send(self.pid, dst, batch, depth=0)
 
     def _outgoing_depth(
         self,
@@ -370,25 +593,39 @@ class SimNode:
         depth: int,
         op: Optional[OperationId],
         incarnation: int,
+        register: Optional[str],
     ) -> Callable[[], None]:
         def callback() -> None:
-            self._on_store_durable(token, depth, op, incarnation)
+            self._on_store_durable(token, depth, op, incarnation, register)
 
         return callback
 
     def _set_timer(
-        self, effect: SetTimer, depth: int, op: Optional[OperationId]
+        self,
+        effect: SetTimer,
+        depth: int,
+        op: Optional[OperationId],
+        slot: _RegisterSlot,
     ) -> None:
-        existing = self._timers.pop(effect.token, None)
+        key = (slot.register, effect.token)
+        existing = self._timers.pop(key, None)
         if existing is not None:
             existing.cancel()
         handle = self._kernel.schedule(
-            effect.delay, self._on_timer, effect.token, depth, op, self.incarnation
+            effect.delay,
+            self._on_timer,
+            effect.token,
+            depth,
+            op,
+            self.incarnation,
+            slot.register,
         )
-        self._timers[effect.token] = handle
+        self._timers[key] = handle
 
-    def _complete_operation(self, effect: Reply, depth: int) -> None:
-        handle = self._current_handle
+    def _complete_operation(
+        self, effect: Reply, depth: int, slot: _RegisterSlot
+    ) -> None:
+        handle = slot.current
         if handle is None or handle.op != effect.op:
             # A reply for an operation that was aborted by a crash of
             # this process cannot happen (incarnation guards), so this
@@ -401,7 +638,7 @@ class SimNode:
         handle.result = effect.result
         handle.completed_at = self._kernel.now
         handle.causal_logs = causal
-        self._current_handle = None
+        slot.current = None
         self._recorder.record_reply(effect.op, self.pid, handle.kind, effect.result)
         self._recorder.record_causal_logs(effect.op, causal)
         if effect.tag is not None:

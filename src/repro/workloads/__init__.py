@@ -8,12 +8,22 @@ from repro.workloads.generators import (
     WorkloadRunner,
     run_closed_loop,
 )
+from repro.workloads.kv import (
+    KVWorkloadReport,
+    KVWorkloadRunner,
+    ZipfianKeys,
+    run_kv_closed_loop,
+)
 
 __all__ = [
     "ClientPlan",
+    "KVWorkloadReport",
+    "KVWorkloadRunner",
     "OperationMix",
     "UniqueValues",
     "WorkloadReport",
     "WorkloadRunner",
+    "ZipfianKeys",
     "run_closed_loop",
+    "run_kv_closed_loop",
 ]

@@ -34,7 +34,7 @@ def test_crash_recovery_kv_runs(capsys):
     module = importlib.import_module("crash_recovery_kv")
     module.main()
     out = capsys.readouterr().out
-    assert "all histories atomic: True" in out
+    assert "per-key histories atomic: True" in out
 
 
 def test_atomicity_semantics_runs(capsys):

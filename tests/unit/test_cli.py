@@ -60,6 +60,12 @@ class TestExecution:
         assert "steps" in text
         assert "persistent" in text
 
+    def test_kv_bench_quick(self):
+        text = run(["kv-bench", "--quick", "--clients", "6", "--operations", "4"])
+        assert "shards" in text
+        assert "throughput" in text
+        assert "NO" not in text  # every swept run must be atomic
+
     def test_show_run(self):
         text = run(["show-run"])
         assert "W(v1)" in text

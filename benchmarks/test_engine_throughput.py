@@ -16,13 +16,20 @@ from repro.history.register_checker import check_tagged_history
 from repro.workloads.generators import run_closed_loop
 
 
+@pytest.mark.parametrize("capture", [False, True], ids=["trace-off", "trace-on"])
 @pytest.mark.parametrize("protocol", ["crash-stop", "transient", "persistent"])
-def test_simulator_operation_throughput(benchmark, protocol):
-    """Wall time of 100 simulated operations on 5 processes."""
+def test_simulator_operation_throughput(benchmark, protocol, capture):
+    """Wall time of 100 simulated operations on 5 processes.
+
+    The trace-off variant is the engine's allocation-free fast path
+    (the closed-loop number the perf trajectory tracks); trace-on
+    additionally measures full event capture, so the gap between the
+    two is the cost of observability.
+    """
 
     def run():
         cluster = SimCluster(
-            protocol=protocol, num_processes=5, capture_trace=False
+            protocol=protocol, num_processes=5, capture_trace=capture
         )
         cluster.start()
         report = run_closed_loop(
@@ -33,6 +40,7 @@ def test_simulator_operation_throughput(benchmark, protocol):
 
     cluster = benchmark(run)
     benchmark.extra_info["simulated_ops"] = 100
+    benchmark.extra_info["capture_trace"] = capture
     benchmark.extra_info["kernel_events"] = cluster.kernel.events_processed
 
 

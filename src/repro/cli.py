@@ -10,6 +10,7 @@ Usage::
     python -m repro ablations
     python -m repro weaker-memory
     python -m repro kv-bench [--quick]
+    python -m repro bench [--quick]
     python -m repro all
 
 Each subcommand prints the same rows/series the paper reports (see
@@ -172,6 +173,21 @@ def _cmd_kv_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from repro.experiments.bench import format_bench, run_bench, write_bench_files
+
+    report = run_bench(
+        quick=getattr(args, "quick", False),
+        repeats=getattr(args, "bench_repeats", None),
+    )
+    paths = write_bench_files(report, getattr(args, "output_dir", "."))
+    return (
+        "Engine performance trajectory (wall-clock; see BENCH_*.json)\n\n"
+        + format_bench(report)
+        + "\n\nwrote " + " and ".join(paths)
+    )
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure6-top": _cmd_figure6_top,
     "figure6-bottom": _cmd_figure6_bottom,
@@ -183,6 +199,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "weaker-memory": _cmd_weaker_memory,
     "show-run": _cmd_show_run,
     "kv-bench": _cmd_kv_bench,
+    "bench": _cmd_bench,
 }
 
 
@@ -217,6 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--protocol", default="persistent",
                 help="register protocol to run the store on (default: persistent)",
+            )
+        if name == "bench":
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="CI-sized run (fewer repeats, smaller KV sweep)",
+            )
+            sub.add_argument(
+                "--output-dir", dest="output_dir", default=".",
+                help="directory for BENCH_engine.json / BENCH_kv.json "
+                "(default: current directory)",
+            )
+            sub.add_argument(
+                "--bench-repeats", dest="bench_repeats", type=int, default=None,
+                help="timed repetitions per engine/checker case "
+                "(default: 10, or 3 with --quick)",
             )
     all_cmd = subparsers.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--repeats", type=int, default=20)

@@ -24,10 +24,20 @@ class OperationId:
     ``pid`` is the invoking process; ``seq`` is a per-run monotonically
     increasing counter handed out by :func:`make_operation_id`.  Ids are
     ordered so they can key sorted containers deterministically.
+
+    Ids key the hottest dicts in the engine (causal-depth tracking,
+    recorder indexes, quorum rounds), so the hash is computed once at
+    construction instead of building a ``(pid, seq)`` tuple per lookup.
     """
 
     pid: ProcessId
     seq: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.pid, self.seq)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"op(p{self.pid}#{self.seq})"

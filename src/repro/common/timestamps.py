@@ -26,13 +26,16 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 
-@functools.total_ordering
 @dataclass(frozen=True)
 class Tag:
     """An ordered ``[sequence_number, process_id, recovery_count]`` timestamp.
 
     Instances are immutable, hashable and totally ordered.  The order is
     lexicographic: by :attr:`sn`, then :attr:`pid`, then :attr:`rec`.
+    All four comparisons are spelled out (rather than derived with
+    ``functools.total_ordering``) because tag comparisons sit on the
+    quorum-counting hot path and the derived operators cost a second
+    dispatch through ``__lt__``.
 
     >>> Tag(1, 0) < Tag(1, 1) < Tag(2, 0)
     True
@@ -56,6 +59,21 @@ class Tag:
         if not isinstance(other, Tag):
             return NotImplemented
         return (self.sn, self.pid, self.rec) < (other.sn, other.pid, other.rec)
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.sn, self.pid, self.rec) <= (other.sn, other.pid, other.rec)
+
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.sn, self.pid, self.rec) > (other.sn, other.pid, other.rec)
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return (self.sn, self.pid, self.rec) >= (other.sn, other.pid, other.rec)
 
     def next_for(self, pid: int, increment: int = 1, rec: int = 0) -> "Tag":
         """Return the tag a writer with id ``pid`` derives from this one.

@@ -1,0 +1,279 @@
+"""Engine performance trajectory: the ``repro bench`` harness.
+
+Not a figure from the paper -- this keeps the reproduction honest as a
+piece of software, over time.  Each invocation measures the wall-clock
+cost of three suites and writes the results to ``BENCH_engine.json``
+and ``BENCH_kv.json``:
+
+* **engine** -- the closed-loop simulator benchmark (100 operations on
+  5 processes, tracing off) per protocol: simulated operations and
+  kernel events per wall-clock second, with p50/p99 over repeats;
+* **checker** -- the black-box atomicity checker on a 30-operation
+  history and the white-box tag checker on a 2000-operation history;
+* **kv** -- the sharded key-value store sweep (wall time alongside the
+  simulated-time throughput the CLI already reports).
+
+CI runs ``repro bench --quick`` and uploads the JSON files as
+artifacts, so every PR appends a point to the perf trajectory instead
+of asserting a brittle absolute threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics import WallClockStats
+
+#: Schema tag written into both files; bump on layout changes.
+SCHEMA = "repro-bench/1"
+
+ENGINE_PROTOCOLS = ("crash-stop", "transient", "persistent")
+ENGINE_OPERATIONS = 100
+ENGINE_PROCESSES = 5
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro bench`` invocation measured."""
+
+    quick: bool
+    repeats: int
+    engine: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    checker: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    kv: List[Dict[str, Any]] = field(default_factory=list)
+
+    def engine_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "suite": "engine",
+            "quick": self.quick,
+            "repeats": self.repeats,
+            "python": platform.python_version(),
+            "engine": self.engine,
+            "checker": self.checker,
+        }
+
+    def kv_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "suite": "kv",
+            "quick": self.quick,
+            "python": platform.python_version(),
+            "kv": self.kv,
+        }
+
+
+def _time_runs(fn: Callable[[], Any], repeats: int) -> Tuple[WallClockStats, Any]:
+    """Run ``fn`` ``repeats`` times (plus one warmup); time each run."""
+    result = fn()  # warmup: imports, allocator, branch caches
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return WallClockStats.from_samples(samples), result
+
+
+def _bench_engine(repeats: int) -> Dict[str, Dict[str, Any]]:
+    from repro.cluster import SimCluster
+    from repro.workloads.generators import run_closed_loop
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for protocol in ENGINE_PROTOCOLS:
+
+        def run() -> int:
+            cluster = SimCluster(
+                protocol=protocol,
+                num_processes=ENGINE_PROCESSES,
+                capture_trace=False,
+            )
+            cluster.start()
+            report = run_closed_loop(
+                cluster, operations_per_client=20, read_fraction=0.5, seed=0
+            )
+            assert report.completed == ENGINE_OPERATIONS
+            return cluster.kernel.events_processed
+
+        stats, kernel_events = _time_runs(run, repeats)
+        results[protocol] = {
+            "operations": ENGINE_OPERATIONS,
+            "kernel_events": kernel_events,
+            "ops_per_sec": ENGINE_OPERATIONS / stats.p50,
+            "kernel_events_per_sec": kernel_events / stats.p50,
+            "wall": stats.as_dict(),
+        }
+    return results
+
+
+def _bench_checker(repeats: int) -> Dict[str, Dict[str, Any]]:
+    from repro.common.ids import OperationId
+    from repro.common.timestamps import Tag
+    from repro.history.checker import check_persistent_atomicity
+    from repro.history.events import Invoke, Reply
+    from repro.history.history import History
+    from repro.history.recorder import HistoryRecorder
+    from repro.history.register_checker import check_tagged_history
+
+    # Black-box checker: sequential alternating write/read history.
+    events: List[Any] = []
+    value = None
+    for i in range(30):
+        op = OperationId(pid=i % 3, seq=i)
+        if i % 2 == 0:
+            value = f"v{i}"
+            events.append(
+                Invoke(time=2.0 * i, pid=op.pid, op=op, kind="write", value=value)
+            )
+            events.append(Reply(time=2.0 * i + 1, pid=op.pid, op=op, kind="write"))
+        else:
+            events.append(Invoke(time=2.0 * i, pid=op.pid, op=op, kind="read"))
+            events.append(
+                Reply(time=2.0 * i + 1, pid=op.pid, op=op, kind="read", result=value)
+            )
+    history = History(events)
+
+    def run_blackbox() -> bool:
+        verdict = check_persistent_atomicity(history)
+        assert verdict.ok
+        return verdict.ok
+
+    # White-box checker: 2000 operations with recorded tags, stamped
+    # by a deterministic increasing clock.
+    clock = [0.0]
+
+    def tick() -> float:
+        clock[0] += 1.0
+        return clock[0]
+
+    recorder = HistoryRecorder(clock=tick)
+    for i in range(1, 1001):
+        op = OperationId(pid=0, seq=i)
+        tag = Tag(i, 0)
+        recorder.record_invoke(op, 0, "write", f"v{i}")
+        recorder.record_reply(op, 0, "write")
+        recorder.record_tag(op, tag)
+        rop = OperationId(pid=1, seq=10_000 + i)
+        recorder.record_invoke(rop, 1, "read")
+        recorder.record_reply(rop, 1, "read", f"v{i}")
+        recorder.record_tag(rop, tag)
+
+    def run_whitebox() -> int:
+        result = check_tagged_history(recorder.history, recorder, "persistent")
+        assert result.ok
+        return result.operations
+
+    blackbox_stats, _ = _time_runs(run_blackbox, repeats)
+    whitebox_stats, operations = _time_runs(run_whitebox, repeats)
+    return {
+        "blackbox_30_ops": {
+            "operations": 30,
+            "ops_per_sec": 30 / blackbox_stats.p50,
+            "wall": blackbox_stats.as_dict(),
+        },
+        "whitebox_2000_ops": {
+            "operations": operations,
+            "ops_per_sec": operations / whitebox_stats.p50,
+            "wall": whitebox_stats.as_dict(),
+        },
+    }
+
+
+def _bench_kv(quick: bool, repeats: int) -> List[Dict[str, Any]]:
+    from repro.experiments.kv_bench import run_kv_config
+
+    shard_sweep = (1, 8) if quick else (1, 2, 4, 8)
+    operations = 10 if quick else 30
+    # A KV config run is the most expensive unit in the harness, so cap
+    # its repeats -- but keep the warmup + repeated-sample discipline of
+    # the other suites: a single cold measurement would fold import and
+    # allocator warmup into whichever sweep row runs first.
+    kv_repeats = max(1, min(repeats, 3))
+    rows: List[Dict[str, Any]] = []
+    for shards in shard_sweep:
+
+        def run():
+            return run_kv_config(
+                shards, batch_window=0.0, operations_per_client=operations
+            )
+
+        stats, row = _time_runs(run, kv_repeats)
+        rows.append(
+            {
+                "shards": row.shards,
+                "batch_window": row.batch_window,
+                "clients": row.clients,
+                "completed": row.completed,
+                "sim_throughput_ops_per_sec": row.throughput,
+                "wall": stats.as_dict(),
+                "wall_ops_per_sec": row.completed / stats.p50,
+                "messages_sent": row.messages_sent,
+                "atomic": row.atomic,
+            }
+        )
+    return rows
+
+
+def run_bench(quick: bool = False, repeats: Optional[int] = None) -> BenchReport:
+    """Measure every suite; ``quick`` is the CI-sized variant."""
+    if repeats is None:
+        repeats = 3 if quick else 10
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    report = BenchReport(quick=quick, repeats=repeats)
+    report.engine = _bench_engine(repeats)
+    report.checker = _bench_checker(repeats)
+    report.kv = _bench_kv(quick, repeats)
+    return report
+
+
+def write_bench_files(report: BenchReport, output_dir: str = ".") -> List[str]:
+    """Write ``BENCH_engine.json`` and ``BENCH_kv.json``; return paths."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, payload in (
+        ("BENCH_engine.json", report.engine_payload()),
+        ("BENCH_kv.json", report.kv_payload()),
+    ):
+        path = directory / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        paths.append(str(path))
+    return paths
+
+
+def format_bench(report: BenchReport) -> str:
+    """Render the measurements as the table the CLI prints."""
+    lines = [
+        f"{'suite':<10} {'case':<22} {'ops':>6}  {'ops/sec':>12}  "
+        f"{'p50':>10}  {'p99':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+
+    def row(suite: str, case: str, ops: Any, rate: float, wall: Dict[str, float]):
+        lines.append(
+            f"{suite:<10} {case:<22} {ops:>6}  {rate:>10,.0f}/s  "
+            f"{wall['p50_s'] * 1e3:>8.1f}ms  {wall['p99_s'] * 1e3:>8.1f}ms"
+        )
+
+    for protocol, data in report.engine.items():
+        row("engine", protocol, data["operations"], data["ops_per_sec"], data["wall"])
+    for case, data in report.checker.items():
+        row("checker", case, data["operations"], data["ops_per_sec"], data["wall"])
+    for entry in report.kv:
+        verdict = "atomic" if entry["atomic"] else "NOT ATOMIC"
+        row(
+            "kv",
+            f"{entry['shards']} shards ({verdict})",
+            entry["completed"],
+            entry["sim_throughput_ops_per_sec"],
+            entry["wall"],
+        )
+    lines.append("")
+    lines.append("(kv ops/sec is simulated-time throughput; engine/checker")
+    lines.append(" ops/sec are wall-clock; p50/p99 are wall time per run)")
+    return "\n".join(lines)

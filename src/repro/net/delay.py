@@ -34,14 +34,35 @@ class DelaySample:
 
 
 class DelayModel:
-    """Computes one-way message delays under a :class:`NetworkConfig`."""
+    """Computes one-way message delays under a :class:`NetworkConfig`.
+
+    The config's constants are hoisted to instance attributes at
+    construction: the model sits on the simulator's per-transmission
+    path, where repeated dataclass field lookups are measurable.
+    """
 
     def __init__(self, config: NetworkConfig):
         self._config = config
+        self._base_delay = config.base_delay
+        self._bandwidth = config.bandwidth
+        self._max_jitter = config.max_jitter
+        self._max_payload = config.max_payload
+        self._drop_probability = config.drop_probability
+        self._duplicate_probability = config.duplicate_probability
 
     @property
     def config(self) -> NetworkConfig:
         return self._config
+
+    @property
+    def drop_probability(self) -> float:
+        """Per-transmission loss probability (see :meth:`should_drop`)."""
+        return self._drop_probability
+
+    @property
+    def duplicate_probability(self) -> float:
+        """Per-transmission duplication probability (see :meth:`should_duplicate`)."""
+        return self._duplicate_probability
 
     def sample(self, size: int, rng: random.Random) -> DelaySample:
         """Sample the delay of a ``size``-byte message.
@@ -54,38 +75,59 @@ class DelayModel:
         """
         if size < 0:
             raise ValueError(f"message size must be >= 0, got {size}")
-        if size > self._config.max_payload:
+        if size > self._max_payload:
             raise ValueError(
                 f"message of {size} bytes exceeds the transport maximum "
-                f"of {self._config.max_payload} bytes"
+                f"of {self._max_payload} bytes"
             )
         jitter = 0.0
-        if self._config.max_jitter > 0.0:
-            jitter = rng.uniform(0.0, self._config.max_jitter)
+        if self._max_jitter > 0.0:
+            jitter = rng.uniform(0.0, self._max_jitter)
         return DelaySample(
-            base=self._config.base_delay,
-            transmission=size / self._config.bandwidth,
+            base=self._base_delay,
+            transmission=size / self._bandwidth,
             jitter=jitter,
         )
+
+    def sample_total(self, size: int, rng: random.Random) -> float:
+        """Sample one total delay without building a :class:`DelaySample`.
+
+        The simulator's per-transmission path only needs the scalar;
+        the float arithmetic (and the random stream consumption) is
+        identical to ``sample(size, rng).total``, so seeded runs are
+        unaffected by which entry point a caller uses.
+        """
+        if size < 0:
+            raise ValueError(f"message size must be >= 0, got {size}")
+        if size > self._max_payload:
+            raise ValueError(
+                f"message of {size} bytes exceeds the transport maximum "
+                f"of {self._max_payload} bytes"
+            )
+        if self._max_jitter > 0.0:
+            jitter = rng.uniform(0.0, self._max_jitter)
+        else:
+            jitter = 0.0
+        return self._base_delay + size / self._bandwidth + jitter
 
     def mean_delay(self, size: int) -> float:
         """Expected delay for a ``size``-byte message (no sampling)."""
         if size < 0:
             raise ValueError(f"message size must be >= 0, got {size}")
         return (
-            self._config.base_delay
-            + size / self._config.bandwidth
-            + self._config.max_jitter / 2.0
+            self._base_delay
+            + size / self._bandwidth
+            + self._max_jitter / 2.0
         )
 
     def should_drop(self, rng: random.Random) -> bool:
         """Decide whether a single transmission is lost."""
-        if self._config.drop_probability == 0.0:
+        if self._drop_probability == 0.0:
             return False
-        return rng.random() < self._config.drop_probability
+        return rng.random() < self._drop_probability
 
     def should_duplicate(self, rng: random.Random) -> bool:
         """Decide whether a single transmission is duplicated."""
-        if self._config.duplicate_probability == 0.0:
+        if self._duplicate_probability == 0.0:
             return False
-        return rng.random() < self._config.duplicate_probability
+        return rng.random() < self._duplicate_probability

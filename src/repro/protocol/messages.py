@@ -49,6 +49,7 @@ causal-log accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, ClassVar, Optional, Tuple
 
 from repro.common.ids import OperationId
@@ -70,10 +71,13 @@ class Message:
     op: Optional[OperationId]
     round_no: int
 
-    @property
-    def size(self) -> int:
-        """Billable size in bytes (header plus any value payload)."""
-        return HEADER_SIZE
+    #: Billable size in bytes (header plus any value payload).  The
+    #: network reads it several times per transmission (billing, the
+    #: delay model, trace details), so value-carrying subclasses
+    #: memoize their computed size with ``functools.cached_property``
+    #: (messages are immutable, the size never changes); header-only
+    #: messages share this class-level constant.
+    size: ClassVar[int] = HEADER_SIZE
 
     @property
     def kind(self) -> str:
@@ -114,7 +118,7 @@ class WriteRequest(Message):
     tag: Tag
     value: Any
 
-    @property
+    @cached_property
     def size(self) -> int:
         return HEADER_SIZE + payload_size(self.value)
 
@@ -149,7 +153,7 @@ class ReadAck(Message):
     durable_tag: Optional[Tag] = None
     is_ack: ClassVar[bool] = True
 
-    @property
+    @cached_property
     def size(self) -> int:
         return HEADER_SIZE + payload_size(self.value)
 
@@ -169,7 +173,7 @@ class RegisterFrame:
     depth: int
     message: Message
 
-    @property
+    @cached_property
     def size(self) -> int:
         """Billable bytes: register tag plus the full inner message.
 
@@ -192,6 +196,6 @@ class MuxBatch(Message):
 
     frames: Tuple[RegisterFrame, ...] = ()
 
-    @property
+    @cached_property
     def size(self) -> int:
         return HEADER_SIZE + sum(frame.size for frame in self.frames)

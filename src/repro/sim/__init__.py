@@ -21,13 +21,14 @@ from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.network import SimNetwork
 from repro.sim.node import SimNode
 from repro.sim.storage import SimStableStorage
-from repro.sim.tracing import Trace, TraceEvent
+from repro.sim.tracing import NULL_TRACE, Trace, TraceEvent
 
 __all__ = [
     "EventHandle",
     "InvariantMonitor",
     "InvariantViolation",
     "Kernel",
+    "NULL_TRACE",
     "SimNetwork",
     "SimNode",
     "SimStableStorage",

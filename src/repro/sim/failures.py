@@ -124,6 +124,12 @@ class TriggerInjector:
     emission when ``delay == 0`` -- i.e. between the matched event and
     the next simulator step -- which gives adversarial schedules the
     instant precision the proofs assume.
+
+    The injector subscribes to the trace lazily, on the first installed
+    trigger: predicates are opaque, so once any trigger exists it must
+    see every event kind, but a cluster that never installs one (the
+    common benchmark configuration) keeps the trace's allocation-free
+    emission fast path.
     """
 
     def __init__(
@@ -134,13 +140,16 @@ class TriggerInjector:
         schedule_fn: Callable[[float, Callable[[], None]], None],
     ):
         self._triggers: List[Trigger] = []
+        self._trace = trace
         self._crash_fn = crash_fn
         self._recover_fn = recover_fn
         self._schedule_fn = schedule_fn
-        self._unsubscribe = trace.subscribe(self._on_event)
+        self._unsubscribe: Optional[Callable[[], None]] = None
 
     def add(self, trigger: Trigger) -> Trigger:
         """Install a trigger; returns it for later inspection."""
+        if self._unsubscribe is None:
+            self._unsubscribe = self._trace.subscribe(self._on_event)
         self._triggers.append(trigger)
         return trigger
 
@@ -171,8 +180,10 @@ class TriggerInjector:
         )
 
     def close(self) -> None:
-        """Detach from the trace."""
-        self._unsubscribe()
+        """Detach from the trace.  Idempotent."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
 
     def _on_event(self, event: TraceEvent) -> None:
         for trigger in self._triggers:

@@ -6,6 +6,19 @@ randomness is the seeded :class:`random.Random` the kernel owns, so a
 run is a pure function of (program, seed).  That determinism is what
 lets the test suite replay the paper's adversarial schedules (runs
 rho_1 .. rho_4 of the lower-bound proofs) exactly.
+
+Hot-loop design.  A simulated message costs at least two kernel events,
+so the queue is kept allocation-free on the common path: an event is a
+plain ``(time, seq, callback, args)`` tuple (tuples compare in C, and
+``seq`` is unique so comparison never reaches the callback).  Only
+:meth:`Kernel.schedule_cancellable` -- used for timers and other events
+that may be revoked -- pays for an :class:`EventHandle`; its heap entry
+is ``(time, seq, handle, None)``, distinguished by the ``None`` in the
+args slot (real argument tuples are never ``None``).  Cancellation is
+O(1): the handle flips a flag and the kernel skips the entry when it
+surfaces.  A live-event counter keeps :attr:`Kernel.pending_events`
+O(1), and the heap is compacted whenever cancelled entries outnumber
+live ones, so mass-cancelling timers cannot leak queue memory.
 """
 
 from __future__ import annotations
@@ -13,31 +26,37 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Minimum heap size before cancellation triggers a compaction sweep.
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """A cancellable reference to one scheduled callback."""
 
-    __slots__ = ("callback", "args", "cancelled", "time")
+    __slots__ = ("_kernel", "callback", "args", "cancelled", "fired", "time")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        kernel: "Kernel",
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+    ):
+        self._kernel = kernel
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        self._kernel._on_cancel()
 
 
 class Kernel:
@@ -45,10 +64,13 @@ class Kernel:
 
     def __init__(self, seed: int = 0):
         self._now = 0.0
-        self._queue: List[_QueueEntry] = []
+        # Entries: (time, seq, callback, args) or (time, seq, handle, None).
+        self._queue: List[Tuple[float, int, Any, Any]] = []
         self._seq = itertools.count()
         self._rng = random.Random(seed)
         self._events_processed = 0
+        self._live = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -68,37 +90,58 @@ class Kernel:
     @property
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+        return self._live
 
-    def schedule(
-        self, delay: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
-        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        This is the allocation-free fast path; the event cannot be
+        revoked.  Use :meth:`schedule_cancellable` when the caller needs
+        a handle to :meth:`~EventHandle.cancel`.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(self._now + delay, callback, args)
-        heapq.heappush(self._queue, _QueueEntry(handle.time, next(self._seq), handle))
-        return handle
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._seq), callback, args)
+        )
+        self._live += 1
 
-    def schedule_at(
-        self, time: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute virtual ``time``."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time} which is before now ({self._now})"
             )
-        return self.schedule(time - self._now, callback, *args)
+        self.schedule(time - self._now, callback, *args)
+
+    def schedule_cancellable(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self, self._now + delay, callback, args)
+        heapq.heappush(self._queue, (handle.time, next(self._seq), handle, None))
+        self._live += 1
+        return handle
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` if the queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.handle.cancelled:
-                continue
-            self._now = entry.time
+        queue = self._queue
+        while queue:
+            time, _, target, args = heapq.heappop(queue)
+            if args is None:  # cancellable entry: target is its handle
+                if target.cancelled:
+                    self._cancelled -= 1
+                    continue
+                target.fired = True
+                callback, args = target.callback, target.args
+            else:
+                callback = target
+            self._live -= 1
+            self._now = time
             self._events_processed += 1
-            entry.handle.callback(*entry.handle.args)
+            callback(*args)
             return True
         return False
 
@@ -118,10 +161,10 @@ class Kernel:
         while self._queue:
             if max_events is not None and executed >= max_events:
                 return
-            next_entry = self._peek()
-            if next_entry is None:
+            next_time = self._peek_time()
+            if next_time is None:
                 break
-            if until is not None and next_entry.time > until:
+            if until is not None and next_time > until:
                 self._now = until
                 return
             self.step()
@@ -146,15 +189,42 @@ class Kernel:
             if predicate():
                 return True
             if deadline is not None:
-                next_entry = self._peek()
-                if next_entry is not None and next_entry.time > deadline:
+                next_time = self._peek_time()
+                if next_time is not None and next_time > deadline:
                     self._now = deadline
                     return predicate()
             if not self.step():
                 return predicate()
         return predicate()
 
-    def _peek(self) -> Optional[_QueueEntry]:
-        while self._queue and self._queue[0].handle.cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next live event, shedding cancelled entries."""
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[3] is None and entry[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return entry[0]
+        return None
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for one newly-cancelled live entry."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify."""
+        self._queue = [
+            entry
+            for entry in self._queue
+            if entry[3] is not None or not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0

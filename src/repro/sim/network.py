@@ -20,8 +20,7 @@ up" assumption).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.config import NetworkConfig
 from repro.common.ids import ProcessId
@@ -29,7 +28,7 @@ from repro.net.delay import DelayModel
 from repro.protocol.messages import Message
 from repro.sim import tracing
 from repro.sim.kernel import Kernel
-from repro.sim.tracing import Trace, TraceEvent
+from repro.sim.tracing import NULL_TRACE, Trace, TraceEvent
 
 #: One-way delay for a process's message to its own listener (loopback
 #: does not cross the wire; the paper's implementation runs the
@@ -37,16 +36,30 @@ from repro.sim.tracing import Trace, TraceEvent
 LOOPBACK_DELAY = 5e-6
 
 
-@dataclass(frozen=True)
 class Envelope:
-    """A protocol message in flight, with engine-level metadata."""
+    """A protocol message in flight, with engine-level metadata.
 
-    src: ProcessId
-    dst: ProcessId
-    message: Message
-    #: Causal-log depth context of the sending handler (see
-    #: :mod:`repro.history.causal_logs`).
-    depth: int
+    A plain slotted class rather than a dataclass: one envelope is
+    allocated per delivery, and slot assignment is measurably cheaper
+    than a frozen dataclass's ``object.__setattr__`` per field.
+    Immutable by convention.
+    """
+
+    __slots__ = ("src", "dst", "message", "depth")
+
+    def __init__(self, src: ProcessId, dst: ProcessId, message: Message, depth: int):
+        self.src = src
+        self.dst = dst
+        self.message = message
+        #: Causal-log depth context of the sending handler (see
+        #: :mod:`repro.history.causal_logs`).
+        self.depth = depth
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(src={self.src}, dst={self.dst}, "
+            f"message={self.message!r}, depth={self.depth})"
+        )
 
 
 DeliveryHandler = Callable[[Envelope], None]
@@ -63,18 +76,26 @@ class SimNetwork:
         kernel: Kernel,
         num_processes: int,
         config: NetworkConfig,
-        trace: Trace,
+        trace: Optional[Trace] = None,
     ):
         self._kernel = kernel
         self._num_processes = num_processes
         self._delay_model = DelayModel(config)
-        self._trace = trace
+        self._trace = NULL_TRACE if trace is None else trace
         self._handlers: Dict[ProcessId, DeliveryHandler] = {}
         self._blocked_links: Set[Tuple[ProcessId, ProcessId]] = set()
         self._filters: List[MessageFilter] = []
         # Sender-side egress queues: transmissions serialize through the
         # sender's NIC, each occupying it for ``send_overhead``.
         self._egress_free_at: Dict[ProcessId, float] = {}
+        # Config constants hoisted out of the per-send path.  The loss
+        # and duplication probabilities come from the delay model, the
+        # single owner of channel-fault semantics: send() inlines its
+        # should_drop/should_duplicate decisions (same guard, same rng
+        # consumption) to save two method calls per transmission.
+        self._send_overhead = config.send_overhead
+        self._drop_probability = self._delay_model.drop_probability
+        self._duplicate_probability = self._delay_model.duplicate_probability
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -149,34 +170,51 @@ class SimNetwork:
         size = message.size
         self.messages_sent += 1
         self.bytes_sent += size
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.SEND,
-                pid=src,
-                detail={"dst": dst, "msg": message.kind, "op": message.op, "size": size},
+        trace = self._trace
+        if trace.wants(tracing.SEND):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.SEND,
+                    pid=src,
+                    detail={
+                        "dst": dst, "msg": message.kind, "op": message.op, "size": size
+                    },
+                )
             )
-        )
-        if self.is_blocked(src, dst):
+        else:
+            trace.tick(tracing.SEND)
+        if self._blocked_links and (src, dst) in self._blocked_links:
             self._drop(src, dst, message, reason="partition")
             return
-        if self._filtered(src, dst, message):
+        if self._filters and self._filtered(src, dst, message):
             self._drop(src, dst, message, reason="filter")
             return
         rng = self._kernel.rng
-        if src != dst and self._delay_model.should_drop(rng):
+        if (
+            src != dst
+            and self._drop_probability > 0.0
+            and rng.random() < self._drop_probability
+        ):
             self._drop(src, dst, message, reason="loss")
             return
         self._schedule_delivery(src, dst, message, depth)
-        if src != dst and self._delay_model.should_duplicate(rng):
-            self._trace.emit(
-                TraceEvent(
-                    time=self._kernel.now,
-                    kind=tracing.DUPLICATE,
-                    pid=src,
-                    detail={"dst": dst, "msg": message.kind},
+        if (
+            src != dst
+            and self._duplicate_probability > 0.0
+            and rng.random() < self._duplicate_probability
+        ):
+            if trace.wants(tracing.DUPLICATE):
+                trace.emit(
+                    TraceEvent(
+                        time=self._kernel.now,
+                        kind=tracing.DUPLICATE,
+                        pid=src,
+                        detail={"dst": dst, "msg": message.kind},
+                    )
                 )
-            )
+            else:
+                trace.tick(tracing.DUPLICATE)
             self._schedule_delivery(src, dst, message, depth)
 
     def broadcast(self, src: ProcessId, message: Message, depth: int) -> None:
@@ -191,17 +229,19 @@ class SimNetwork:
         if src == dst:
             delay = LOOPBACK_DELAY
         else:
-            delay = self._delay_model.sample(message.size, self._kernel.rng).total
-        envelope = Envelope(src=src, dst=dst, message=message, depth=depth)
+            delay = self._delay_model.sample_total(message.size, self._kernel.rng)
+        envelope = Envelope(src, dst, message, depth)
         self._kernel.schedule(queue_delay + delay, self._deliver, envelope)
 
     def _egress_queue_delay(self, src: ProcessId) -> float:
         """Serialize transmissions through the sender's NIC."""
-        overhead = self._delay_model.config.send_overhead
+        overhead = self._send_overhead
         if overhead == 0.0:
             return 0.0
         now = self._kernel.now
-        free_at = max(self._egress_free_at.get(src, now), now)
+        free_at = self._egress_free_at.get(src, now)
+        if free_at < now:
+            free_at = now
         self._egress_free_at[src] = free_at + overhead
         return (free_at + overhead) - now
 
@@ -210,29 +250,37 @@ class SimNetwork:
         if handler is None:
             return
         self.messages_delivered += 1
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.DELIVER,
-                pid=envelope.dst,
-                detail={
-                    "src": envelope.src,
-                    "msg": envelope.message.kind,
-                    "op": envelope.message.op,
-                },
+        trace = self._trace
+        if trace.wants(tracing.DELIVER):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.DELIVER,
+                    pid=envelope.dst,
+                    detail={
+                        "src": envelope.src,
+                        "msg": envelope.message.kind,
+                        "op": envelope.message.op,
+                    },
+                )
             )
-        )
+        else:
+            trace.tick(tracing.DELIVER)
         handler(envelope)
 
     def _drop(
         self, src: ProcessId, dst: ProcessId, message: Message, reason: str
     ) -> None:
         self.messages_dropped += 1
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.DROP,
-                pid=src,
-                detail={"dst": dst, "msg": message.kind, "reason": reason},
+        trace = self._trace
+        if trace.wants(tracing.DROP):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.DROP,
+                    pid=src,
+                    detail={"dst": dst, "msg": message.kind, "reason": reason},
+                )
             )
-        )
+        else:
+            trace.tick(tracing.DROP)

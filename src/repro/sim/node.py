@@ -63,7 +63,7 @@ from repro.sim import tracing
 from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.network import Envelope, SimNetwork
 from repro.sim.storage import SimStableStorage
-from repro.sim.tracing import Trace, TraceEvent
+from repro.sim.tracing import NULL_TRACE, Trace, TraceEvent
 
 ProtocolFactory = Callable[[ProcessId, int, StableView], RegisterProtocol]
 
@@ -177,8 +177,8 @@ class SimNode:
         storage: SimStableStorage,
         protocol_factory: ProtocolFactory,
         recorder: HistoryRecorder,
-        trace: Trace,
         num_processes: int,
+        trace: Optional[Trace] = None,
         batch_window: float = 0.0,
     ):
         if batch_window < 0:
@@ -189,7 +189,7 @@ class SimNode:
         self._storage = storage
         self._factory = protocol_factory
         self._recorder = recorder
-        self._trace = trace
+        self._trace = NULL_TRACE if trace is None else trace
         self._num_processes = num_processes
         self.batch_window = batch_window
 
@@ -309,9 +309,12 @@ class SimNode:
                 slot.current._settle()
             slot.current = None
         self._recorder.record_crash(self.pid)
-        self._trace.emit(
-            TraceEvent(time=self._kernel.now, kind=tracing.CRASH, pid=self.pid)
-        )
+        if self._trace.wants(tracing.CRASH):
+            self._trace.emit(
+                TraceEvent(time=self._kernel.now, kind=tracing.CRASH, pid=self.pid)
+            )
+        else:
+            self._trace.tick(tracing.CRASH)
 
     def recover(self) -> None:
         """Restart the process and run every slot's recovery procedure."""
@@ -319,9 +322,12 @@ class SimNode:
             raise ProtocolError(f"process {self.pid} is not crashed")
         self.state = RECOVERING
         self._recorder.record_recovery(self.pid)
-        self._trace.emit(
-            TraceEvent(time=self._kernel.now, kind=tracing.RECOVER, pid=self.pid)
-        )
+        if self._trace.wants(tracing.RECOVER):
+            self._trace.emit(
+                TraceEvent(time=self._kernel.now, kind=tracing.RECOVER, pid=self.pid)
+            )
+        else:
+            self._trace.tick(tracing.RECOVER)
         for slot in list(self._slots.values()):
             if not slot.booted:
                 # Provisioned while the node was down: first boot now.
@@ -381,14 +387,18 @@ class SimNode:
         self._recorder.record_invoke(op, self.pid, kind, value)
         if register is not None:
             self._recorder.record_register(op, register)
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.INVOKE,
-                pid=self.pid,
-                detail={"op": op, "kind": kind, "register": register},
+        trace = self._trace
+        if trace.wants(tracing.INVOKE):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.INVOKE,
+                    pid=self.pid,
+                    detail={"op": op, "kind": kind, "register": register},
+                )
             )
-        )
+        else:
+            trace.tick(tracing.INVOKE)
         self._depths.observe(op, 0)
         if kind == "read":
             effects = slot.protocol.invoke_read(op)
@@ -403,7 +413,7 @@ class SimNode:
         if self.state == CRASHED:
             return  # a crashed process receives nothing
         message = envelope.message
-        if isinstance(message, MuxBatch):
+        if message.__class__ is MuxBatch:
             for frame in message.frames:
                 slot = self._slots.get(frame.register)
                 if slot is None:
@@ -453,14 +463,18 @@ class SimNode:
         if slot is None:
             return
         self._timers.pop((register, token), None)
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.TIMER,
-                pid=self.pid,
-                detail={"token": token, "register": register},
+        trace = self._trace
+        if trace.wants(tracing.TIMER):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.TIMER,
+                    pid=self.pid,
+                    detail={"token": token, "register": register},
+                )
             )
-        )
+        else:
+            trace.tick(tracing.TIMER)
         effects = slot.protocol.on_timer(token)
         self._execute(effects, depth=depth, op=op, slot=slot)
 
@@ -473,18 +487,23 @@ class SimNode:
         op: Optional[OperationId],
         slot: _RegisterSlot,
     ) -> None:
+        # Effects are a closed set of final classes (the sans-io
+        # contract of protocol/base.py), so dispatch on class identity:
+        # an isinstance ladder costs several calls per effect on the
+        # engine's hottest path.
         for effect in effects:
-            if isinstance(effect, Send):
+            cls = effect.__class__
+            if cls is Send:
                 out_depth = self._outgoing_depth(effect.message, depth, op)
                 self._dispatch(slot, effect.dst, effect.message, out_depth)
-            elif isinstance(effect, Broadcast):
+            elif cls is Broadcast:
                 out_depth = self._outgoing_depth(effect.message, depth, op)
                 if slot.register is None:
                     self._network.broadcast(self.pid, effect.message, out_depth)
                 else:
                     for dst in range(self._num_processes):
                         self._dispatch(slot, dst, effect.message, out_depth)
-            elif isinstance(effect, Store):
+            elif cls is Store:
                 self._storage.store(
                     slot.prefix + effect.key,
                     effect.record,
@@ -494,28 +513,31 @@ class SimNode:
                     ),
                     op=op,
                 )
-            elif isinstance(effect, Reply):
+            elif cls is Reply:
                 self._complete_operation(effect, depth, slot)
-            elif isinstance(effect, SetTimer):
+            elif cls is SetTimer:
                 self._set_timer(effect, depth, op, slot)
-            elif isinstance(effect, CancelTimer):
+            elif cls is CancelTimer:
                 handle = self._timers.pop((slot.register, effect.token), None)
                 if handle is not None:
                     handle.cancel()
-            elif isinstance(effect, RecoveryComplete):
+            elif cls is RecoveryComplete:
                 slot.ready = True
                 if self.state != UP and all(
                     s.ready for s in self._slots.values()
                 ):
                     self.state = UP
-                self._trace.emit(
-                    TraceEvent(
-                        time=self._kernel.now,
-                        kind=tracing.RECOVERY_DONE,
-                        pid=self.pid,
-                        detail={"register": slot.register},
+                if self._trace.wants(tracing.RECOVERY_DONE):
+                    self._trace.emit(
+                        TraceEvent(
+                            time=self._kernel.now,
+                            kind=tracing.RECOVERY_DONE,
+                            pid=self.pid,
+                            detail={"register": slot.register},
+                        )
                     )
-                )
+                else:
+                    self._trace.tick(tracing.RECOVERY_DONE)
             else:
                 raise ProtocolError(f"unknown effect {type(effect).__name__}")
 
@@ -611,7 +633,7 @@ class SimNode:
         existing = self._timers.pop(key, None)
         if existing is not None:
             existing.cancel()
-        handle = self._kernel.schedule(
+        handle = self._kernel.schedule_cancellable(
             effect.delay,
             self._on_timer,
             effect.token,
@@ -643,12 +665,18 @@ class SimNode:
         self._recorder.record_causal_logs(effect.op, causal)
         if effect.tag is not None:
             self._recorder.record_tag(effect.op, effect.tag)
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.REPLY,
-                pid=self.pid,
-                detail={"op": effect.op, "kind": handle.kind, "causal_logs": causal},
+        trace = self._trace
+        if trace.wants(tracing.REPLY):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.REPLY,
+                    pid=self.pid,
+                    detail={
+                        "op": effect.op, "kind": handle.kind, "causal_logs": causal
+                    },
+                )
             )
-        )
+        else:
+            trace.tick(tracing.REPLY)
         handle._settle()

@@ -20,7 +20,7 @@ from repro.common.config import StorageConfig
 from repro.common.ids import ProcessId
 from repro.sim import tracing
 from repro.sim.kernel import Kernel
-from repro.sim.tracing import Trace, TraceEvent
+from repro.sim.tracing import NULL_TRACE, Trace, TraceEvent
 from repro.storage.model import StorageLatencyModel
 
 CompletionCallback = Callable[[], None]
@@ -34,12 +34,12 @@ class SimStableStorage:
         kernel: Kernel,
         pid: ProcessId,
         config: StorageConfig,
-        trace: Trace,
+        trace: Optional[Trace] = None,
     ):
         self._kernel = kernel
         self._pid = pid
         self._model = StorageLatencyModel(config)
-        self._trace = trace
+        self._trace = NULL_TRACE if trace is None else trace
         # Durable records; survives crash() calls by design.
         self._records: Dict[str, Tuple[Any, ...]] = {}
         # Sequential device: completion time of the last queued write.
@@ -80,16 +80,21 @@ class SimStableStorage:
         epoch = self._epoch
         store_id = self._next_store_id
         self._next_store_id += 1
-        self._trace.emit(
-            TraceEvent(
-                time=now,
-                kind=tracing.STORE_BEGIN,
-                pid=self._pid,
-                detail={"key": key, "size": size, "done_at": done_at, "op": op},
+        trace = self._trace
+        if trace.wants(tracing.STORE_BEGIN):
+            trace.emit(
+                TraceEvent(
+                    time=now,
+                    kind=tracing.STORE_BEGIN,
+                    pid=self._pid,
+                    detail={"key": key, "size": size, "done_at": done_at, "op": op},
+                )
             )
-        )
-        handle = self._kernel.schedule_at(
-            done_at, self._complete, store_id, key, record, size, on_durable, epoch, op
+        else:
+            trace.tick(tracing.STORE_BEGIN)
+        handle = self._kernel.schedule_cancellable(
+            done_at - now,
+            self._complete, store_id, key, record, size, on_durable, epoch, op,
         )
         self._in_flight[store_id] = handle
 
@@ -109,14 +114,18 @@ class SimStableStorage:
         self._records[key] = record
         self.stores_completed += 1
         self.bytes_logged += size
-        self._trace.emit(
-            TraceEvent(
-                time=self._kernel.now,
-                kind=tracing.STORE_END,
-                pid=self._pid,
-                detail={"key": key, "size": size, "op": op},
+        trace = self._trace
+        if trace.wants(tracing.STORE_END):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.STORE_END,
+                    pid=self._pid,
+                    detail={"key": key, "size": size, "op": op},
+                )
             )
-        )
+        else:
+            trace.tick(tracing.STORE_END)
         on_durable()
 
     def crash(self) -> None:

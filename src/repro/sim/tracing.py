@@ -10,12 +10,29 @@ source of truth for:
 * the metrics layer (latencies, message counts, log counts per
   operation);
 * debugging (a trace pretty-prints as a readable run transcript).
+
+Fast path.  Building a :class:`TraceEvent` (a dataclass plus a detail
+dict) per simulated message is the single biggest per-event cost when
+nobody is looking, so emitters are expected to guard construction::
+
+    if trace.wants(tracing.SEND):
+        trace.emit(TraceEvent(...))     # someone captures or listens
+    else:
+        trace.tick(tracing.SEND)        # count-only, allocation-free
+
+:meth:`Trace.wants` answers in O(1) from a precomputed set: a kind is
+wanted when the trace captures, when a listener subscribed to every
+kind, or when a listener subscribed to that kind specifically.
+:meth:`Trace.tick` keeps :meth:`Trace.count` exact either way, so the
+metrics layer sees identical numbers with tracing on or off.
+:data:`NULL_TRACE` is a module-level sink for components run without
+any trace at all; it wants nothing and refuses listeners.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence
 
 # Event kinds, kept as plain strings for cheap filtering.
 SEND = "send"
@@ -71,31 +88,97 @@ class Trace:
     processes the next event -- that is what lets a failure injector
     crash a process "immediately after its first store completes",
     mirroring the instant-precise schedules in the paper's proofs.
+
+    A listener may subscribe to specific event ``kinds``; emitters then
+    skip :class:`TraceEvent` construction entirely for kinds nobody
+    wants (see the module docstring).
     """
 
     def __init__(self, capture: bool = True):
         self._capture = capture
         self._events: List[TraceEvent] = []
-        self._listeners: List[Listener] = []
+        #: Listeners for every kind, in subscription order.
+        self._all_listeners: List[Listener] = []
+        #: kind -> listeners restricted to that kind.
+        self._kind_listeners: Dict[str, List[Listener]] = {}
         self._counts: Dict[str, int] = {}
+        #: ``None`` means every kind is wanted (capture on, or a
+        #: listener subscribed without a kind restriction).
+        self._wanted: Optional[FrozenSet[str]] = None
+        self._recompute_wanted()
+
+    @property
+    def capturing(self) -> bool:
+        """Whether emitted events are retained in :attr:`events`."""
+        return self._capture
+
+    def wants(self, kind: str) -> bool:
+        """Whether an emitter must build a real event for ``kind``."""
+        wanted = self._wanted
+        return True if wanted is None else kind in wanted
+
+    def tick(self, kind: str) -> None:
+        """Count one ``kind`` occurrence without building an event.
+
+        The allocation-free sibling of :meth:`emit`, used by emitters
+        when :meth:`wants` says nobody would see the event.  Keeps
+        :meth:`count` exact with tracing off.
+        """
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
 
     def emit(self, event: TraceEvent) -> None:
         """Record ``event`` and notify listeners."""
+        kind = event.kind
         if self._capture:
             self._events.append(event)
-        self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
-        for listener in list(self._listeners):
-            listener(event)
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if self._all_listeners:
+            for listener in list(self._all_listeners):
+                listener(event)
+        kind_listeners = self._kind_listeners.get(kind)
+        if kind_listeners:
+            for listener in list(kind_listeners):
+                listener(event)
 
-    def subscribe(self, listener: Listener) -> Callable[[], None]:
-        """Register ``listener``; returns an unsubscribe function."""
-        self._listeners.append(listener)
+    def subscribe(
+        self, listener: Listener, kinds: Optional[Sequence[str]] = None
+    ) -> Callable[[], None]:
+        """Register ``listener``; returns an unsubscribe function.
+
+        With ``kinds=None`` the listener sees every event (and forces
+        emitters onto the slow path for every kind).  With an explicit
+        kind list it sees only those kinds, and every other kind keeps
+        its allocation-free fast path.
+        """
+        if kinds is None:
+            self._all_listeners.append(listener)
+        else:
+            for kind in kinds:
+                self._kind_listeners.setdefault(kind, []).append(listener)
+        self._recompute_wanted()
 
         def unsubscribe() -> None:
-            if listener in self._listeners:
-                self._listeners.remove(listener)
+            if kinds is None:
+                if listener in self._all_listeners:
+                    self._all_listeners.remove(listener)
+            else:
+                for kind in kinds:
+                    listeners = self._kind_listeners.get(kind, [])
+                    if listener in listeners:
+                        listeners.remove(listener)
+                    if not listeners:
+                        self._kind_listeners.pop(kind, None)
+            self._recompute_wanted()
 
         return unsubscribe
+
+    def _recompute_wanted(self) -> None:
+        if self._capture or self._all_listeners:
+            self._wanted = None
+        else:
+            self._wanted = frozenset(self._kind_listeners)
 
     # -- queries ---------------------------------------------------------
 
@@ -134,3 +217,36 @@ class Trace:
             if wanted is None or event.kind in wanted
         ]
         return "\n".join(lines)
+
+
+class NullTrace(Trace):
+    """A trace that wants nothing and records nothing.
+
+    Components constructed without a trace share the module-level
+    :data:`NULL_TRACE` singleton; it cannot capture and refuses
+    listeners, so its fast path can never be deactivated.  Counts are
+    dropped too: on a process-wide singleton they would aggregate
+    unrelated runs, so keeping them would only cost dict work on the
+    hot path to produce a meaningless number.
+    """
+
+    def __init__(self):
+        super().__init__(capture=False)
+
+    def subscribe(
+        self, listener: Listener, kinds: Optional[Sequence[str]] = None
+    ) -> Callable[[], None]:
+        raise ValueError(
+            "NULL_TRACE accepts no listeners; construct a Trace(capture=False) "
+            "to observe a run without capturing it"
+        )
+
+    def tick(self, kind: str) -> None:
+        pass
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - safety net
+        pass
+
+
+#: Shared sink for components run without any trace.
+NULL_TRACE = NullTrace()

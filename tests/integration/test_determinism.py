@@ -1,0 +1,44 @@
+"""Determinism regression: seeded runs must not drift across PRs.
+
+The golden transcripts under ``tests/data/determinism`` were captured
+from the engine *before* the allocation-free fast paths landed (tuple
+heap entries, guarded trace emission, memoized message sizes, cached
+delay constants).  Each test re-runs the same fixed-seed scenario with
+full capture and asserts the serialized run -- every trace event plus
+the network/storage/kernel counters -- is byte-identical.  Any future
+"it's just a perf tweak" change that moves an event, consumes the
+random stream differently, or re-orders same-instant callbacks fails
+here with a readable diff.
+
+Regenerate the goldens (only after deliberately changing observable
+behavior) with::
+
+    PYTHONPATH=src python -c "
+    from tests.integration.determinism_scenario import PROTOCOLS, run_scenario
+    import pathlib
+    for p in PROTOCOLS:
+        pathlib.Path('tests/data/determinism/%s.txt' % p).write_text(run_scenario(p))
+    "
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tests.integration.determinism_scenario import PROTOCOLS, run_scenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "determinism"
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_seeded_run_matches_pre_fastpath_golden(protocol):
+    golden = (GOLDEN_DIR / f"{protocol}.txt").read_text()
+    assert run_scenario(protocol) == golden
+
+
+@pytest.mark.parametrize("protocol", ["persistent", "transient"])
+def test_consecutive_runs_are_identical(protocol):
+    # Same process, same seed, twice in a row: the serialization's
+    # operation-id renumbering must absorb the global id counter and
+    # everything else must be a pure function of the seed.
+    assert run_scenario(protocol) == run_scenario(protocol)

@@ -27,13 +27,15 @@ def test_cancelled_callbacks_never_fire(entries):
     fired = []
     expected = 0
     for index, (delay, cancel) in enumerate(entries):
-        handle = kernel.schedule(delay, fired.append, index)
+        handle = kernel.schedule_cancellable(delay, fired.append, index)
         if cancel:
             handle.cancel()
         else:
             expected += 1
+    assert kernel.pending_events == expected
     kernel.run()
     assert len(fired) == expected
+    assert kernel.pending_events == 0
 
 
 @given(st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=30), st.integers(0, 2**32))

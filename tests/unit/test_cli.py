@@ -70,3 +70,26 @@ class TestExecution:
         text = run(["show-run"])
         assert "W(v1)" in text
         assert "X" in text  # the crash marker
+
+    def test_bench_quick_writes_trajectory_files(self, tmp_path):
+        import json
+
+        text = run(
+            [
+                "bench", "--quick",
+                "--bench-repeats", "1",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert "engine" in text and "checker" in text and "kv" in text
+        engine = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        assert engine["schema"] == "repro-bench/1"
+        assert set(engine["engine"]) == {"crash-stop", "transient", "persistent"}
+        for data in engine["engine"].values():
+            assert data["ops_per_sec"] > 0
+            assert data["wall"]["p50_s"] > 0
+            assert data["wall"]["p99_s"] >= data["wall"]["p50_s"]
+        assert engine["checker"]["whitebox_2000_ops"]["operations"] == 2000
+        kv = json.loads((tmp_path / "BENCH_kv.json").read_text())
+        assert [row["shards"] for row in kv["kv"]] == [1, 8]
+        assert all(row["atomic"] for row in kv["kv"])

@@ -95,6 +95,43 @@ class TestTriggers:
         cluster.run(duration=0.006)
         assert cluster.node(1).crashed
 
+    def test_triggers_fire_instant_precise_without_capture(self):
+        # The injector subscribes to the trace lazily (so trigger-less
+        # benchmark runs keep the emission fast path); installing a
+        # trigger on a capture_trace=False cluster must still fire at
+        # the exact instant of the matched event, before the simulator
+        # processes anything else.
+        cluster = SimCluster(
+            protocol="persistent", num_processes=3, capture_trace=False
+        )
+        cluster.start()
+        cluster.injector.crash_when(
+            lambda e: e.kind == tracing.STORE_END and e.pid == 1, pid=0
+        )
+        store_end_times = []
+        unsubscribe = cluster.trace.subscribe(
+            lambda e: store_end_times.append(e.time) if e.pid == 1 else None,
+            kinds=[tracing.STORE_END],
+        )
+        cluster.write(0, "x")
+        cluster.run_until(lambda: cluster.node(0).crashed, timeout=1.0)
+        assert cluster.node(0).crashed
+        # The crash happened at the very instant of p1's store_end.
+        assert cluster.trace.count(tracing.CRASH) == 1
+        assert store_end_times and cluster.now == store_end_times[0]
+        unsubscribe()
+
+    def test_injector_without_triggers_keeps_fast_path(self):
+        cluster = SimCluster(
+            protocol="persistent", num_processes=3, capture_trace=False
+        )
+        cluster.start()
+        # Nothing subscribed: every kind stays on the tick-only path.
+        assert not cluster.trace.wants(tracing.SEND)
+        cluster.injector.crash_when(lambda e: False, pid=0)
+        # An installed trigger must see every kind (predicates are opaque).
+        assert cluster.trace.wants(tracing.SEND)
+
     def test_recover_trigger(self):
         cluster = SimCluster(protocol="persistent", num_processes=3)
         cluster.start()

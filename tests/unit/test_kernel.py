@@ -79,25 +79,60 @@ class TestCancellation:
     def test_cancelled_events_do_not_fire(self):
         kernel = Kernel()
         fired = []
-        handle = kernel.schedule(1.0, fired.append, "x")
+        handle = kernel.schedule_cancellable(1.0, fired.append, "x")
         handle.cancel()
         kernel.run()
         assert fired == []
 
     def test_cancel_is_idempotent(self):
         kernel = Kernel()
-        handle = kernel.schedule(1.0, lambda: None)
+        handle = kernel.schedule_cancellable(1.0, lambda: None)
         handle.cancel()
         handle.cancel()
         kernel.run()
+        assert kernel.pending_events == 0
+
+    def test_cancel_after_firing_is_a_no_op(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule_cancellable(1.0, fired.append, "x")
+        kernel.schedule(2.0, fired.append, "y")
+        kernel.run()
+        handle.cancel()  # must not corrupt the live-event accounting
+        assert fired == ["x", "y"]
+        assert kernel.pending_events == 0
 
     def test_pending_events_excludes_cancelled(self):
         kernel = Kernel()
-        keep = kernel.schedule(1.0, lambda: None)
-        drop = kernel.schedule(2.0, lambda: None)
+        keep = kernel.schedule_cancellable(1.0, lambda: None)
+        drop = kernel.schedule_cancellable(2.0, lambda: None)
         drop.cancel()
         assert kernel.pending_events == 1
         keep.cancel()
+        assert kernel.pending_events == 0
+
+    def test_cancellable_and_plain_events_interleave_in_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "plain")
+        kernel.schedule_cancellable(1.0, fired.append, "cancellable")
+        kernel.schedule(1.0, fired.append, "plain2")
+        kernel.run()
+        assert fired == ["plain", "cancellable", "plain2"]
+
+    def test_mass_cancellation_keeps_the_heap_bounded(self):
+        # The paper's protocols arm a retransmit timer per round and
+        # cancel it on quorum; 10k cancelled timers must not linger in
+        # the queue until their (possibly far-future) deadlines.
+        kernel = Kernel()
+        live = kernel.schedule_cancellable(1e9, lambda: None)
+        for _ in range(10_000):
+            kernel.schedule_cancellable(1e6, lambda: None).cancel()
+        assert kernel.pending_events == 1
+        # Compaction keeps the internal heap proportional to the live
+        # entries, not to the cancellation history.
+        assert len(kernel._queue) < 100
+        live.cancel()
         assert kernel.pending_events == 0
 
 

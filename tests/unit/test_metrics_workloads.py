@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import SimCluster
 from repro.common.errors import ConfigurationError
-from repro.metrics import LatencyStats, collect_metrics
+from repro.metrics import LatencyStats, WallClockStats, collect_metrics, percentile
 from repro.workloads.generators import (
     ClientPlan,
     OperationMix,
@@ -32,6 +32,39 @@ class TestLatencyStats:
 
     def test_mean_us_converts(self):
         assert LatencyStats.from_samples([0.001]).mean_us == pytest.approx(1000.0)
+
+
+class TestPercentile:
+    def test_interpolates_between_samples(self):
+        assert percentile([0.0, 10.0], 50.0) == pytest.approx(5.0)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == pytest.approx(2.0)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestWallClockStats:
+    def test_from_samples(self):
+        stats = WallClockStats.from_samples([0.2, 0.1, 0.4, 0.3])
+        assert stats.count == 4
+        assert stats.best == 0.1
+        assert stats.worst == 0.4
+        assert stats.p50 == pytest.approx(0.25)
+        assert stats.p99 >= stats.p50
+        assert stats.as_dict()["best_s"] == 0.1
+
+    def test_empty(self):
+        assert WallClockStats.from_samples([]).count == 0
 
 
 class TestCollectMetrics:

@@ -196,3 +196,63 @@ class TestLossAndDuplication:
         assert network.messages_delivered == len(inboxes[1])
         assert network.messages_dropped == 100 - len(inboxes[1])
         assert network.bytes_sent == 100 * query().size
+
+
+class TestTracingFastPath:
+    """Emitters must skip TraceEvent construction when nobody wants it."""
+
+    def _counting_network(self, monkeypatch, trace):
+        from repro.sim import network as network_module
+
+        constructed = []
+        real = network_module.TraceEvent
+
+        def counting(*args, **kwargs):
+            event = real(*args, **kwargs)
+            constructed.append(event.kind)
+            return event
+
+        monkeypatch.setattr(network_module, "TraceEvent", counting)
+        kernel = Kernel(seed=0)
+        network = SimNetwork(kernel, 3, NetworkConfig(), trace)
+        for pid in range(3):
+            network.attach(pid, lambda envelope: None)
+        return kernel, network, constructed
+
+    def test_quiet_trace_builds_no_events(self, monkeypatch):
+        trace = Trace(capture=False)
+        kernel, network, constructed = self._counting_network(monkeypatch, trace)
+        for _ in range(10):
+            network.send(0, 1, query(), depth=0)
+        kernel.run()
+        assert constructed == []
+        # ... but the counts survive for the metrics layer.
+        assert trace.count(tracing.SEND) == 10
+        assert trace.count(tracing.DELIVER) == 10
+
+    def test_default_trace_is_quiet(self, monkeypatch):
+        kernel = Kernel(seed=0)
+        network = SimNetwork(kernel, 2, NetworkConfig())  # no trace argument
+        network.attach(0, lambda envelope: None)
+        network.attach(1, lambda envelope: None)
+        network.send(0, 1, query(), depth=0)
+        kernel.run()
+        assert network.messages_delivered == 1
+
+    def test_kind_listener_reactivates_only_its_kind(self, monkeypatch):
+        trace = Trace(capture=False)
+        kernel, network, constructed = self._counting_network(monkeypatch, trace)
+        seen = []
+        trace.subscribe(seen.append, kinds=[tracing.SEND])
+        for _ in range(5):
+            network.send(0, 1, query(), depth=0)
+        kernel.run()
+        assert constructed == [tracing.SEND] * 5
+        assert len(seen) == 5
+
+    def test_capture_builds_every_event(self, monkeypatch):
+        trace = Trace(capture=True)
+        kernel, network, constructed = self._counting_network(monkeypatch, trace)
+        network.send(0, 1, query(), depth=0)
+        kernel.run()
+        assert constructed == [tracing.SEND, tracing.DELIVER]

@@ -1,7 +1,9 @@
 """Unit tests for the trace event log."""
 
+import pytest
+
 from repro.sim import tracing
-from repro.sim.tracing import Trace, TraceEvent
+from repro.sim.tracing import NULL_TRACE, Trace, TraceEvent
 
 
 def event(kind=tracing.SEND, pid=0, time=1.0, **detail):
@@ -82,3 +84,71 @@ class TestTrace:
         text = str(event(kind=tracing.DELIVER, pid=2, msg="W"))
         assert "deliver" in text
         assert "msg=W" in text
+
+
+class TestPerKindSubscription:
+    def test_kind_listener_sees_only_its_kinds(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append, kinds=[tracing.SEND, tracing.DROP])
+        trace.emit(event(kind=tracing.SEND))
+        trace.emit(event(kind=tracing.DELIVER))
+        trace.emit(event(kind=tracing.DROP))
+        assert [e.kind for e in seen] == [tracing.SEND, tracing.DROP]
+
+    def test_kind_listener_unsubscribe(self):
+        trace = Trace()
+        seen = []
+        unsubscribe = trace.subscribe(seen.append, kinds=[tracing.SEND])
+        trace.emit(event(kind=tracing.SEND))
+        unsubscribe()
+        trace.emit(event(kind=tracing.SEND))
+        assert len(seen) == 1
+
+    def test_all_kind_listeners_run_before_kind_listeners(self):
+        trace = Trace()
+        order = []
+        trace.subscribe(lambda e: order.append("kind"), kinds=[tracing.SEND])
+        trace.subscribe(lambda e: order.append("all"))
+        trace.emit(event(kind=tracing.SEND))
+        assert order == ["all", "kind"]
+
+
+class TestFastPath:
+    def test_capturing_trace_wants_everything(self):
+        trace = Trace(capture=True)
+        for kind in tracing.ALL_KINDS:
+            assert trace.wants(kind)
+
+    def test_quiet_trace_wants_nothing(self):
+        trace = Trace(capture=False)
+        for kind in tracing.ALL_KINDS:
+            assert not trace.wants(kind)
+
+    def test_kind_subscription_wants_only_that_kind(self):
+        trace = Trace(capture=False)
+        unsubscribe = trace.subscribe(lambda e: None, kinds=[tracing.STORE_END])
+        assert trace.wants(tracing.STORE_END)
+        assert not trace.wants(tracing.SEND)
+        unsubscribe()
+        assert not trace.wants(tracing.STORE_END)
+
+    def test_all_kind_subscription_deactivates_the_fast_path(self):
+        trace = Trace(capture=False)
+        unsubscribe = trace.subscribe(lambda e: None)
+        assert all(trace.wants(kind) for kind in tracing.ALL_KINDS)
+        unsubscribe()
+        assert not any(trace.wants(kind) for kind in tracing.ALL_KINDS)
+
+    def test_tick_counts_without_an_event(self):
+        trace = Trace(capture=False)
+        trace.tick(tracing.SEND)
+        trace.tick(tracing.SEND)
+        assert trace.count(tracing.SEND) == 2
+        assert trace.events == []
+
+    def test_null_trace_wants_nothing_and_refuses_listeners(self):
+        assert not NULL_TRACE.wants(tracing.SEND)
+        assert not NULL_TRACE.capturing
+        with pytest.raises(ValueError):
+            NULL_TRACE.subscribe(lambda e: None)

@@ -1,0 +1,52 @@
+"""White-box checker throughput: operations checked per second.
+
+Not a figure from the paper -- this keeps the tag checker honest as
+the only affordable verifier at soak scale.  The near-linear rewrite
+checks 10k-operation histories in ~0.1s (the all-pairs scan took about
+a minute); the budget assertions pin the soak scale under a generous
+wall-clock ceiling so an accidental return to quadratic scanning fails
+loudly rather than silently re-inflating ``repro bench``.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.bench import make_tagged_history
+from repro.history.register_checker import check_tagged_history
+
+SIZES = (1_000, 10_000)
+CRITERIA = ("persistent", "transient")
+
+#: Wall-clock ceiling for a single check, seconds.  ~50x the measured
+#: cost on a development machine: slack for slow CI, fatal for O(N^2)
+#: (which needs ~60s at 10k operations).
+BUDGET_SECONDS = {1_000: 1.0, 10_000: 5.0}
+
+
+@pytest.mark.parametrize("criterion", CRITERIA)
+@pytest.mark.parametrize("operations", SIZES)
+def test_whitebox_checker_throughput(benchmark, operations, criterion):
+    history, recorder = make_tagged_history(operations)
+    result = benchmark(check_tagged_history, history, recorder, criterion)
+    assert result.ok, result.violations
+    assert result.operations == operations
+    benchmark.extra_info["operations"] = operations
+    benchmark.extra_info["criterion"] = criterion
+
+
+@pytest.mark.parametrize("criterion", CRITERIA)
+@pytest.mark.parametrize("operations", SIZES)
+def test_soak_scale_stays_under_wall_clock_budget(operations, criterion):
+    # Cold check on a fresh history -- the incremental History caches
+    # its views after the first check, and the soak-relevant cost is
+    # the first (and usually only) check of a recorded run.
+    history, recorder = make_tagged_history(operations)
+    start = time.perf_counter()
+    result = check_tagged_history(history, recorder, criterion)
+    elapsed = time.perf_counter() - start
+    assert result.ok, result.violations
+    assert elapsed < BUDGET_SECONDS[operations], (
+        f"{operations}-op {criterion} check took {elapsed:.2f}s; "
+        f"budget is {BUDGET_SECONDS[operations]}s"
+    )

@@ -184,7 +184,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     return (
         "Engine performance trajectory (wall-clock; see BENCH_*.json)\n\n"
         + format_bench(report)
-        + "\n\nwrote " + " and ".join(paths)
+        + "\n\nwrote " + ", ".join(paths)
     )
 
 

@@ -32,10 +32,11 @@ from typing import Any, Dict, List, Optional, Sequence, Set
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError, OperationAborted, ReproError
 from repro.common.ids import ProcessId
-from repro.history.checker import AtomicityVerdict, check_history
+from repro.history.checker import MAX_OPERATIONS, AtomicityVerdict, check_history
 from repro.history.history import History
 from repro.history.partition import partition_history
 from repro.history.recorder import HistoryRecorder
+from repro.history.register_checker import check_tagged_history
 from repro.protocol.base import RegisterProtocol, StableView
 from repro.protocol.registry import get_protocol_class
 from repro.protocol.two_round import TwoRoundRegisterProtocol
@@ -268,10 +269,20 @@ class SimCluster:
         return self.node(pid).invoke_read(register=key)
 
     def wait(
-        self, handle: SimOperation, timeout: float = DEFAULT_OP_TIMEOUT
+        self,
+        handle: SimOperation,
+        timeout: float = DEFAULT_OP_TIMEOUT,
+        poll_every: int = 1,
     ) -> SimOperation:
-        """Advance virtual time until ``handle`` settles."""
-        ok = self.kernel.run_until(lambda: handle.settled, timeout=timeout)
+        """Advance virtual time until ``handle`` settles.
+
+        The default ``poll_every=1`` stops on the exact settling event;
+        callers that tolerate a few events of overshoot (see
+        :meth:`run_until`) can pass a stride to cut polling overhead.
+        """
+        ok = self.kernel.run_until(
+            lambda: handle.settled, timeout=timeout, poll_every=poll_every
+        )
         if not ok:
             raise ReproError(f"operation {handle.op} did not settle within {timeout}s")
         return handle
@@ -328,9 +339,23 @@ class SimCluster:
         else:
             self.kernel.run(until=self.kernel.now + duration, max_events=max_events)
 
-    def run_until(self, predicate, timeout: Optional[float] = None) -> bool:
-        """Advance the simulation until ``predicate()`` holds."""
-        return self.kernel.run_until(predicate, timeout=timeout)
+    def run_until(
+        self,
+        predicate,
+        timeout: Optional[float] = None,
+        poll_every: int = 1,
+    ) -> bool:
+        """Advance the simulation until ``predicate()`` holds.
+
+        ``poll_every`` amortizes predicate polling (see
+        :meth:`repro.sim.kernel.Kernel.run_until`): with a stride ``k``
+        up to ``k - 1`` further events may execute after the predicate
+        turns true, so only pass ``k > 1`` when that overshoot is
+        acceptable (e.g. draining a finished workload).
+        """
+        return self.kernel.run_until(
+            predicate, timeout=timeout, poll_every=poll_every
+        )
 
     @property
     def now(self) -> float:
@@ -351,7 +376,10 @@ class SimCluster:
         )
 
     def check_atomicity(
-        self, criterion: Optional[str] = None, initial_value: Any = None
+        self,
+        criterion: Optional[str] = None,
+        initial_value: Any = None,
+        method: str = "auto",
     ) -> AtomicityVerdict:
         """Check the recorded history against an atomicity criterion.
 
@@ -361,16 +389,45 @@ class SimCluster:
         judges the anonymous register's projection; check the named
         ones via :meth:`per_register_histories` (the KV layer's
         ``check_atomicity`` does exactly that, per key).
+
+        ``method`` picks the checker: ``"blackbox"`` is the exhaustive
+        witness search (ground truth, capped at
+        :data:`~repro.history.checker.MAX_OPERATIONS`), ``"whitebox"``
+        the near-linear tag checker, and ``"auto"`` (the default) uses
+        the black-box checker while the history fits under its cap and
+        the white-box checker beyond it -- so soak-scale runs get a
+        verdict instead of a size error.
         """
         if criterion is None:
             criterion = (
                 "transient" if self.protocol_name == "transient" else "persistent"
             )
+        if method not in ("auto", "blackbox", "whitebox"):
+            raise ConfigurationError(f"unknown checker method {method!r}")
         history = self.history
         if self._registers:
             history = self.per_register_histories().get(None, History())
-        return check_history(
-            history, criterion=criterion, initial_value=initial_value
+        if method == "auto":
+            method = (
+                "blackbox"
+                if len(history.operations()) <= MAX_OPERATIONS
+                else "whitebox"
+            )
+        if method == "blackbox":
+            return check_history(
+                history, criterion=criterion, initial_value=initial_value
+            )
+        result = check_tagged_history(
+            history,
+            self.recorder,
+            criterion=criterion,
+            initial_value=initial_value,
+        )
+        return AtomicityVerdict(
+            ok=result.ok,
+            criterion=criterion,
+            reason="; ".join(result.violations),
+            operations=result.operations,
         )
 
     def causal_log_counts(self) -> Dict[str, List[int]]:

@@ -27,10 +27,10 @@ per-key linearizable KV store).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.common.ids import OperationId
-from repro.history.events import Crash, Invoke, Recover, Reply
+from repro.history.events import Crash, HistoryEvent, Invoke, Recover, Reply
 from repro.history.history import History
 
 RegisterOf = Callable[[OperationId], Optional[str]]
@@ -50,21 +50,26 @@ def partition_history(
     result even when no event mentions them (useful to assert that an
     untouched register has an empty-but-for-failures history).
     """
-    targets: Dict[Optional[str], None] = {}
+    partitions: Dict[Optional[str], History] = {}
     if registers is not None:
         for register in registers:
-            targets.setdefault(register, None)
-    for event in history:
-        if isinstance(event, (Invoke, Reply)):
-            targets.setdefault(register_of(event.op), None)
+            partitions.setdefault(register, History())
 
-    partitions: Dict[Optional[str], History] = {
-        register: History() for register in targets
-    }
+    # Single pass.  A projection is created lazily at a register's first
+    # invocation; every failure event seen so far belongs to it (failures
+    # are shared by all registers), so the new projection is seeded with
+    # the failure prefix -- which preserves per-projection event order.
+    failures: List[HistoryEvent] = []
     for event in history:
         if isinstance(event, (Crash, Recover)):
+            failures.append(event)
             for partition in partitions.values():
                 partition.append(event)
         elif isinstance(event, (Invoke, Reply)):
-            partitions[register_of(event.op)].append(event)
+            register = register_of(event.op)
+            partition = partitions.get(register)
+            if partition is None:
+                partition = History(failures)
+                partitions[register] = partition
+            partition.append(event)
     return partitions

@@ -27,17 +27,41 @@ needed, covering the paper's orphan-value anomaly:
 The checker trusts the tags the protocol reported (hence "white-box");
 it is used as a cross-check against the black-box checker on small
 histories and as the only affordable checker on large ones.
+
+Complexity.  Every condition is checked in one sweep over the records
+(which :meth:`~repro.history.history.History.operations` already hands
+out in invocation order) plus O(N log N) heap/bisect work:
+
+* condition 2 replaces the all-pairs precedence scan with a sweep that
+  retires replied operations from a min-heap ordered by reply index and
+  tracks the *maximum* tag over everything retired so far -- ``op2``
+  violates precedence against *some* predecessor iff it violates it
+  against the max-tag predecessor (strictness chosen per ``op2``'s
+  kind);
+* condition 3 prebuilds the tag->written-value and value->writer-count
+  indexes once instead of rescanning all records per read;
+* condition 4 prebuilds per-process invocation indexes (deadline = the
+  writer's next invocation, found by bisect) and a suffix-minimum of
+  completed-operation tags by invocation index -- a pending write
+  escapes its window iff the minimum tag at-or-after its deadline is
+  smaller than its own.
+
+The sweep reports one representative violating pair per operation (the
+extremal one) where the quadratic scan reported every pair; the verdict
+is identical.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.ids import OperationId
 from repro.common.timestamps import Tag, bottom_tag
 from repro.history.checker import PERSISTENT, TRANSIENT
-from repro.history.events import Invoke, WRITE
+from repro.history.events import Invoke, READ, WRITE
 from repro.history.history import History, OperationRecord
 from repro.history.recorder import HistoryRecorder
 
@@ -114,29 +138,70 @@ def _check_precedence(
     tags: Dict[OperationId, Tag],
     violations: List[str],
 ) -> None:
-    # Sort by reply index; compare each op to later-invoked ones.  A
-    # quadratic scan is fine at soak scale (tens of thousands of pairs).
-    for op1 in completed:
-        if op1.op not in tags:
+    # Sweep in invocation order.  ``replied`` holds tagged operations
+    # not yet known to precede the current one, as a min-heap on reply
+    # index; entries whose reply lands before the current invocation
+    # are retired into a running maximum.  An operation violates
+    # condition 2 against some real-time predecessor iff it violates it
+    # against the max-tag predecessor.
+    replied: List[Tuple[int, OperationRecord]] = []
+    max_tag: Optional[Tag] = None
+    max_record: Optional[OperationRecord] = None
+    for record in completed:
+        if record.op not in tags:
             continue
-        for op2 in completed:
-            if op2.op not in tags or op1.op == op2.op:
-                continue
-            if op1.reply_index is None or op1.reply_index >= op2.invoke_index:
-                continue  # not a real-time precedence pair
-            tag1, tag2 = tags[op1.op], tags[op2.op]
-            if op2.kind == WRITE:
-                if not tag1 < tag2:
+        invoke_index = record.invoke_index
+        while replied and replied[0][0] < invoke_index:
+            _, predecessor = heapq.heappop(replied)
+            tag = tags[predecessor.op]
+            if max_tag is None or tag > max_tag:
+                max_tag, max_record = tag, predecessor
+        tag = tags[record.op]
+        if max_tag is not None:
+            if record.kind == WRITE:
+                if not max_tag < tag:
                     violations.append(
-                        f"precedence violated: {op1} (tag {tag1}) precedes "
-                        f"write {op2} (tag {tag2}) but tags are not increasing"
+                        f"precedence violated: {max_record} (tag {max_tag}) "
+                        f"precedes write {record} (tag {tag}) but tags are "
+                        f"not increasing"
                     )
-            else:
-                if not tag1 <= tag2:
-                    violations.append(
-                        f"precedence violated: {op1} (tag {tag1}) precedes "
-                        f"read {op2} (tag {tag2}) but the read's tag is lower"
-                    )
+            elif not max_tag <= tag:
+                violations.append(
+                    f"precedence violated: {max_record} (tag {max_tag}) "
+                    f"precedes read {record} (tag {tag}) but the read's "
+                    f"tag is lower"
+                )
+        # reply_index is an event index, hence unique: the heap never
+        # has to compare the (uncomparable) records in its entries.
+        heapq.heappush(replied, (record.reply_index, record))
+
+
+class _ValueIndex:
+    """How many write records carry each value, with O(1) lookup.
+
+    Values are protocol payloads, so they are not necessarily hashable;
+    unhashable ones fall back to a (normally empty) equality-scanned
+    list, preserving the semantics of the old per-read linear scan.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[Any, int] = {}
+        self._unhashable: List[Any] = []
+
+    def add(self, value: Any) -> None:
+        try:
+            self._counts[value] = self._counts.get(value, 0) + 1
+        except TypeError:
+            self._unhashable.append(value)
+
+    def count(self, value: Any) -> int:
+        try:
+            count = self._counts.get(value, 0)
+        except TypeError:
+            count = 0
+        if self._unhashable:
+            count += sum(1 for other in self._unhashable if other == value)
+        return count
 
 
 def _check_read_values(
@@ -151,14 +216,18 @@ def _check_read_values(
     # even though the writer crashed); its tag is whatever the protocol
     # recorded for it or what readers returned.
     written: Dict[Tag, Any] = {bottom_tag(): initial_value}
+    writers = _ValueIndex()
     for record in records:
         if record.kind != WRITE:
             continue
-        tag = tags.get(record.op) or recorder.tag_of(record.op)
+        tag = tags.get(record.op)
+        if tag is None:
+            tag = recorder.tag_of(record.op)
         if tag is not None:
             written[tag] = record.value
+        writers.add(record.value)
     for record in records:
-        if record.kind != "read" or record.pending:
+        if record.kind != READ or record.pending:
             continue
         tag = tags.get(record.op)
         if tag is None:
@@ -167,8 +236,7 @@ def _check_read_values(
             # The read's tag does not correspond to any known write;
             # tolerate only if it matches some written value by equality
             # (a pending write whose tag was never recorded).
-            matches = [r for r in records if r.kind == WRITE and r.value == record.result]
-            if not matches and record.result != initial_value:
+            if writers.count(record.result) == 0 and record.result != initial_value:
                 violations.append(
                     f"{record}: returned tag {tag} matches no write"
                 )
@@ -188,62 +256,107 @@ def _check_pending_write_deadlines(
     recorder: HistoryRecorder,
     violations: List[str],
 ) -> None:
-    events = history.events
-    for pending in records:
-        if pending.kind != WRITE or not pending.pending:
-            continue
+    pending_writes = [
+        record for record in records if record.kind == WRITE and record.pending
+    ]
+    if not pending_writes:
+        return
+    # One pass over the events: every process's invocation event
+    # indexes, in order.  A pending write's deadline is its writer's
+    # next invocation, found by bisect.
+    invokes_by_pid: Dict[Any, List[int]] = {}
+    for index, event in enumerate(history):
+        if isinstance(event, Invoke):
+            invokes_by_pid.setdefault(event.pid, []).append(index)
+    # Completed tagged operations by invocation index, with a suffix
+    # minimum: the smallest tag carried by any operation invoked at or
+    # after a given event index (and the operation carrying it, for
+    # the diagnostic).
+    tagged = [record for record in records if record.op in tags]
+    invoke_indexes = [record.invoke_index for record in tagged]
+    suffix_min: List[Tuple[Tag, OperationRecord]] = [None] * len(tagged)  # type: ignore[list-item]
+    best: Optional[Tuple[Tag, OperationRecord]] = None
+    for position in range(len(tagged) - 1, -1, -1):
+        record = tagged[position]
+        tag = tags[record.op]
+        if best is None or tag < best[0]:
+            best = (tag, record)
+        suffix_min[position] = best
+    inference = _PendingTagInference(records, tags)
+
+    for pending in pending_writes:
         # The pending write is only constrained if it visibly took
         # effect: some completed read returned its value.
-        pending_tag = _infer_pending_tag(pending, records, tags, recorder)
+        pending_tag = recorder.tag_of(pending.op)
+        if pending_tag is None:
+            pending_tag = inference.infer(pending)
         if pending_tag is None:
             continue
-        deadline = _next_invocation_index(events, pending)
-        if deadline is None:
+        pid_invokes = invokes_by_pid.get(pending.pid, [])
+        slot = bisect_right(pid_invokes, pending.invoke_index)
+        if slot >= len(pid_invokes):
+            continue  # the writer never invokes again: no deadline
+        # The deadline is the writer's next invocation; the pending
+        # reply must appear strictly before it, so the bounding
+        # operation itself (invoke_index == deadline) already follows
+        # the pending write.
+        deadline = pid_invokes[slot]
+        position = bisect_left(invoke_indexes, deadline)
+        if position >= len(tagged):
             continue
-        for other in records:
-            if other.pending or other.op not in tags:
-                continue
-            # The deadline is the writer's next invocation; the pending
-            # reply must appear strictly before it, so the bounding
-            # operation itself (invoke_index == deadline) already
-            # follows the pending write.
-            if other.invoke_index < deadline:
-                continue
-            if tags[other.op] < pending_tag:
-                violations.append(
-                    f"orphan value: pending {pending} (tag {pending_tag}) must "
-                    f"take effect before event {deadline}, but later "
-                    f"{other} carries smaller tag {tags[other.op]}"
-                )
+        min_tag, min_record = suffix_min[position]
+        if min_tag < pending_tag:
+            violations.append(
+                f"orphan value: pending {pending} (tag {pending_tag}) must "
+                f"take effect before event {deadline}, but later "
+                f"{min_record} carries smaller tag {min_tag}"
+            )
 
 
-def _infer_pending_tag(
-    pending: OperationRecord,
-    records: List[OperationRecord],
-    tags: Dict[OperationId, Tag],
-    recorder: HistoryRecorder,
-) -> Optional[Tag]:
-    recorded = recorder.tag_of(pending.op)
-    if recorded is not None:
-        return recorded
-    for record in records:
-        if record.kind != "read" or record.pending:
-            continue
-        if record.result == pending.value and record.op in tags:
-            # Only trust the inference when the value is unambiguous.
-            writers = [
-                r for r in records if r.kind == WRITE and r.value == pending.value
-            ]
-            if len(writers) == 1:
-                return tags[record.op]
-    return None
+class _PendingTagInference:
+    """Infers an unrecorded pending write's tag from the reads.
 
+    A pending write whose tag the protocol never recorded can still be
+    pinned down when its value is unambiguous: exactly one write ever
+    carried it, and some completed tagged read returned it -- that
+    read's tag is the write's.  The value->first-read-tag and
+    value->writer-count indexes are built lazily, once, on the first
+    pending write that actually needs them.
+    """
 
-def _next_invocation_index(
-    events: List[Any], pending: OperationRecord
-) -> Optional[int]:
-    for index in range(pending.invoke_index + 1, len(events)):
-        event = events[index]
-        if event.pid == pending.pid and isinstance(event, Invoke):
-            return index
-    return None
+    def __init__(self, records: List[OperationRecord], tags: Dict[OperationId, Tag]):
+        self._records = records
+        self._tags = tags
+        self._built = False
+        self._read_tags: Dict[Any, Tag] = {}
+        self._writers = _ValueIndex()
+        self._unhashable_reads: List[Tuple[Any, Tag]] = []
+
+    def _build(self) -> None:
+        self._built = True
+        for record in self._records:
+            if record.kind == WRITE:
+                self._writers.add(record.value)
+            elif not record.pending and record.op in self._tags:
+                tag = self._tags[record.op]
+                try:
+                    self._read_tags.setdefault(record.result, tag)
+                except TypeError:
+                    self._unhashable_reads.append((record.result, tag))
+
+    def infer(self, pending: OperationRecord) -> Optional[Tag]:
+        if not self._built:
+            self._build()
+        # Only trust the inference when the value is unambiguous.
+        if self._writers.count(pending.value) != 1:
+            return None
+        try:
+            tag = self._read_tags.get(pending.value)
+        except TypeError:
+            tag = None
+        if tag is not None:
+            return tag
+        for result, read_tag in self._unhashable_reads:
+            if result == pending.value:
+                return read_tag
+        return None

@@ -61,6 +61,10 @@ PIPELINE_RETRY_INTERVAL = 1e-3
 #: to verify; bigger projections use the white-box tag checker.
 EXHAUSTIVE_CHECK_LIMIT = 20
 
+#: Predicate-poll stride for the preload readiness barrier (see
+#: :meth:`repro.sim.kernel.Kernel.run_until`).
+PRELOAD_POLL_STRIDE = 16
+
 
 class KVOperation:
     """Client-side handle of one key-value operation.
@@ -342,8 +346,12 @@ class KVCluster:
     def run(self, duration: Optional[float] = None, max_events: int = 1_000_000) -> None:
         self.sim.run(duration, max_events=max_events)
 
-    def run_until(self, predicate, timeout: Optional[float] = None) -> bool:
-        return self.sim.run_until(predicate, timeout=timeout)
+    def run_until(
+        self, predicate, timeout: Optional[float] = None, poll_every: int = 1
+    ) -> bool:
+        return self.sim.run_until(
+            predicate, timeout=timeout, poll_every=poll_every
+        )
 
     def crash(self, pid: ProcessId) -> None:
         """Crash replica ``pid`` immediately."""
@@ -366,9 +374,14 @@ class KVCluster:
         """
         for key in keys:
             self.sim.ensure_register(key)
+        # The readiness predicate touches every node, so amortize it
+        # over a stride of kernel events: the workload's measured
+        # window opens after preload returns, so a few events of
+        # overshoot are invisible.
         ok = self.sim.run_until(
             lambda: all(node.crashed or node.ready for node in self.nodes),
             timeout=timeout,
+            poll_every=PRELOAD_POLL_STRIDE,
         )
         if not ok:
             raise ReproError("preloaded registers did not become ready")

@@ -74,6 +74,16 @@ class WallClockStats:
             "worst_s": self.worst,
         }
 
+    def ops_per_sec(self, operations: int) -> float:
+        """Median throughput: ``operations`` per second of p50 wall time.
+
+        The unit every ``BENCH_*.json`` trajectory point reports for
+        the engine, checker and KV suites.
+        """
+        if self.p50 <= 0:
+            return 0.0
+        return operations / self.p50
+
 
 @dataclass
 class LatencyStats:

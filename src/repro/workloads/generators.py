@@ -111,13 +111,24 @@ class WorkloadRunner:
         self._active = 0
         self._values = UniqueValues()
 
-    def run(self, timeout: float = 60.0) -> WorkloadReport:
-        """Drive all plans to completion (or until ``timeout`` of virtual time)."""
+    def run(self, timeout: float = 60.0, poll_every: int = 1) -> WorkloadReport:
+        """Drive all plans to completion (or until ``timeout`` of virtual time).
+
+        ``poll_every`` amortizes the drain predicate over a stride of
+        kernel events (see :meth:`repro.sim.kernel.Kernel.run_until`).
+        With a stride, up to ``poll_every - 1`` leftover protocol
+        events (e.g. timers) may execute after the last client settles
+        -- harmless for the report, but it moves the stop position, so
+        the default stays 1 for replay-exact runs (the determinism
+        goldens capture the full event sequence).
+        """
         self._active = sum(1 for kinds in self._remaining.values() if kinds)
         for plan in self._plans:
             if self._remaining[plan.pid]:
                 self._next_op(plan.pid)
-        self._cluster.run_until(lambda: self._active == 0, timeout=timeout)
+        self._cluster.run_until(
+            lambda: self._active == 0, timeout=timeout, poll_every=poll_every
+        )
         self._report.unissued = sum(len(k) for k in self._remaining.values())
         return self._report
 
@@ -167,6 +178,7 @@ def run_closed_loop(
     pids: Optional[Iterable[int]] = None,
     seed: int = 0,
     timeout: float = 60.0,
+    poll_every: int = 1,
 ) -> WorkloadReport:
     """Convenience wrapper: uniform random mix on the given processes."""
     if pids is None:
@@ -177,4 +189,4 @@ def run_closed_loop(
         ClientPlan(pid=pid, kinds=mix.plan(operations_per_client, rng))
         for pid in pids
     ]
-    return WorkloadRunner(cluster, plans).run(timeout=timeout)
+    return WorkloadRunner(cluster, plans).run(timeout=timeout, poll_every=poll_every)

@@ -1,0 +1,170 @@
+"""Cross-checking the optimized white-box checker.
+
+The near-linear tag checker must agree with the exhaustive black-box
+checker of :mod:`repro.history.checker` wherever both can see the
+problem: histories generated from a known-good sequential witness (with
+protocol-consistent tags) are accepted by both, and history-level
+corruptions (stale read, orphan value) are rejected by both.  Tag-level
+corruptions (swapped tags) are invisible to the black-box checker, so
+only the white-box rejection is asserted there.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.common.ids import OperationId
+from repro.common.timestamps import Tag, bottom_tag
+from repro.history.checker import (
+    check_persistent_atomicity,
+    check_transient_atomicity,
+)
+from repro.history.events import WRITE
+from repro.history.recorder import HistoryRecorder
+from repro.history.register_checker import check_tagged_history
+
+_SEQ = [1_000_000]
+
+
+def _op(pid):
+    _SEQ[0] += 1
+    return OperationId(pid=pid, seq=_SEQ[0])
+
+
+class TaggedRun:
+    """A sequential witness execution with protocol-consistent tags."""
+
+    def __init__(self):
+        self.time = 0.0
+        self.recorder = HistoryRecorder(clock=self._tick)
+        self.tag = bottom_tag()
+        self.value = None
+        self.next_sn = 1
+        self.writes = []  # (op, value, tag) in execution order
+
+    def _tick(self):
+        self.time += 1.0
+        return self.time
+
+    @property
+    def history(self):
+        return self.recorder.history
+
+    def write(self, pid, value):
+        op = _op(pid)
+        self.tag = Tag(self.next_sn, pid)
+        self.next_sn += 1
+        self.value = value
+        self.recorder.record_invoke(op, pid, "write", value)
+        self.recorder.record_reply(op, pid, "write")
+        self.recorder.record_tag(op, self.tag)
+        self.writes.append((op, value, self.tag))
+        return op
+
+    def read(self, pid):
+        op = _op(pid)
+        self.recorder.record_invoke(op, pid, "read")
+        self.recorder.record_reply(op, pid, "read", self.value)
+        self.recorder.record_tag(op, self.tag)
+        return op
+
+    def raw_read(self, pid, result, tag):
+        """A read returning an arbitrary (possibly corrupt) result."""
+        op = _op(pid)
+        self.recorder.record_invoke(op, pid, "read")
+        self.recorder.record_reply(op, pid, "read", result)
+        self.recorder.record_tag(op, tag)
+        return op
+
+
+def run_from_script(script):
+    run = TaggedRun()
+    counter = [0]
+    for pid, kind in script:
+        if kind == "write":
+            counter[0] += 1
+            run.write(pid, f"v{counter[0]}")
+        else:
+            run.read(pid)
+    return run
+
+
+scripts = st.lists(
+    st.tuples(st.integers(0, 2), st.sampled_from(["read", "write"])),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(scripts)
+@settings(max_examples=60, deadline=None)
+def test_whitebox_agrees_with_exhaustive_on_witnessed_histories(script):
+    run = run_from_script(script)
+    for criterion in ("persistent", "transient"):
+        white = check_tagged_history(run.history, run.recorder, criterion)
+        assert white.ok, white.violations
+    assert check_persistent_atomicity(run.history).ok
+    assert check_transient_atomicity(run.history).ok
+
+
+@given(scripts)
+@settings(max_examples=40, deadline=None)
+def test_stale_read_rejected_by_both_checkers(script):
+    run = run_from_script(script)
+    assume(len(run.writes) >= 2)
+    _, stale_value, stale_tag = run.writes[0]
+    assume(stale_value != run.value)
+    run.raw_read(2, stale_value, stale_tag)
+    white = check_tagged_history(run.history, run.recorder, "persistent")
+    assert not white.ok
+    assert not check_persistent_atomicity(run.history).ok
+
+
+@given(scripts)
+@settings(max_examples=40, deadline=None)
+def test_swapped_write_tags_rejected_by_whitebox(script):
+    # Swapping two writes' recorded tags corrupts only the white-box
+    # side channel; the history itself stays linearizable, so only the
+    # tag checker can (and must) see it.
+    run = run_from_script(script)
+    assume(len(run.writes) >= 2)
+    first, _, _ = run.writes[0]
+    last, _, _ = run.writes[-1]
+    meta = run.recorder.meta
+    meta[first].tag, meta[last].tag = meta[last].tag, meta[first].tag
+    white = check_tagged_history(run.history, run.recorder, "persistent")
+    assert not white.ok
+    assert check_persistent_atomicity(run.history).ok
+
+
+@given(scripts)
+@settings(max_examples=40, deadline=None)
+def test_orphan_value_rejected_by_both_under_persistent_only(script):
+    # A pending write surfaces through a read after the writer's next
+    # invocation carried a smaller tag: the paper's orphan-value
+    # anomaly.  Persistent atomicity forbids it, transient allows it --
+    # and the two checkers must agree on both verdicts.
+    run = run_from_script(script)
+    writer, reader = 0, 1
+    orphan_tag = Tag(run.next_sn + 10, writer)
+    later_tag = Tag(run.next_sn + 5, writer)
+    orphan_op = _op(writer)
+    run.recorder.record_invoke(orphan_op, writer, "write", "orphan-value")
+    run.recorder.record_tag(orphan_op, orphan_tag)
+    run.recorder.record_crash(writer)
+    run.recorder.record_recovery(writer)
+    later_op = _op(writer)
+    run.recorder.record_invoke(later_op, writer, "write", "later-value")
+    run.recorder.record_reply(later_op, writer, "write")
+    run.recorder.record_tag(later_op, later_tag)
+    run.raw_read(reader, "orphan-value", orphan_tag)
+
+    white_persistent = check_tagged_history(
+        run.history, run.recorder, "persistent"
+    )
+    assert not white_persistent.ok
+    assert any("orphan value" in v for v in white_persistent.violations)
+    white_transient = check_tagged_history(
+        run.history, run.recorder, "transient"
+    )
+    assert white_transient.ok, white_transient.violations
+    assert not check_persistent_atomicity(run.history).ok
+    assert check_transient_atomicity(run.history).ok

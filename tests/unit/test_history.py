@@ -163,6 +163,83 @@ class TestViews:
         assert "ret W -> ok" in text
 
 
+class TestIncrementalViews:
+    """The append-only caching contract (see the module docstring)."""
+
+    def test_operations_view_tracks_appends(self):
+        history = History()
+        history.append(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a")
+        )
+        first = history.operations()
+        assert first[0].pending
+        history.append(Reply(time=1.0, pid=0, op=op(0, 1), kind="write"))
+        second = history.operations()
+        assert not second[0].pending
+        assert second[0].reply_index == 1
+        # Records are immutable: the earlier snapshot is unchanged.
+        assert first[0].pending
+
+    def test_views_hand_out_fresh_copies(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+            Reply(time=1.0, pid=0, op=op(0, 1), kind="write"),
+        )
+        history.operations().clear()
+        history.completed_operations().clear()
+        assert len(history.operations()) == 1
+        assert len(history.completed_operations()) == 1
+
+    def test_completed_and_pending_views_track_appends(self):
+        a, b = op(0, 1), op(1, 2)
+        history = build(
+            Invoke(time=0.0, pid=0, op=a, kind="write", value="x"),
+            Invoke(time=0.5, pid=1, op=b, kind="read"),
+        )
+        assert len(history.pending_operations()) == 2
+        assert history.completed_operations() == []
+        history.append(Reply(time=1.0, pid=0, op=a, kind="write"))
+        assert [r.op for r in history.completed_operations()] == [a]
+        assert [r.op for r in history.pending_operations()] == [b]
+
+    def test_unmatched_reply_keeps_raising_after_appends(self):
+        history = build(Reply(time=0.0, pid=0, op=op(0, 1), kind="write"))
+        with pytest.raises(MalformedHistoryError):
+            history.operations()
+        history.append(Invoke(time=1.0, pid=0, op=op(0, 2), kind="read"))
+        with pytest.raises(MalformedHistoryError):
+            history.operations()
+
+    def test_well_formedness_revalidates_only_new_events(self):
+        history = build(
+            Invoke(time=0.0, pid=0, op=op(0, 1), kind="write", value="a"),
+        )
+        history.assert_well_formed()
+        history.append(Invoke(time=1.0, pid=0, op=op(0, 2), kind="read"))
+        assert not history.is_well_formed()
+        # Append-only: a malformed history can never become well-formed.
+        history.append(Reply(time=2.0, pid=0, op=op(0, 2), kind="read"))
+        assert not history.is_well_formed()
+
+    def test_interleaved_checks_and_appends_match_fresh_scan(self):
+        a, b = op(0, 1), op(1, 2)
+        events = [
+            Invoke(time=0.0, pid=0, op=a, kind="write", value="v"),
+            Invoke(time=0.5, pid=1, op=b, kind="read"),
+            Crash(time=1.0, pid=1),
+            Reply(time=2.0, pid=0, op=a, kind="write"),
+            Recover(time=3.0, pid=1),
+        ]
+        incremental = History()
+        for event in events:
+            incremental.append(event)
+            incremental.assert_well_formed()
+            incremental.operations()
+        fresh = History(events)
+        assert incremental.operations() == fresh.operations()
+        assert incremental.is_well_formed() == fresh.is_well_formed()
+
+
 class TestEventValidation:
     def test_invoke_requires_valid_kind(self):
         with pytest.raises(ValueError):

@@ -181,6 +181,62 @@ class TestPersistentDeadline:
         assert result.ok, result.violations
 
 
+class _FalsyTag(Tag):
+    """A tag whose truth value is false (like a bottom singleton)."""
+
+    def __bool__(self):
+        return False
+
+
+class _OneShotRecorder:
+    """Hands each operation's tag out exactly once.
+
+    A checker that treats a falsy tag as missing goes back to the
+    recorder for a second lookup and gets nothing -- which is how the
+    old ``tags.get(op) or recorder.tag_of(op)`` pattern degraded.
+    """
+
+    def __init__(self, recorder):
+        self._recorder = recorder
+        self._given = set()
+
+    def tag_of(self, op):
+        if op in self._given:
+            return None
+        self._given.add(op)
+        return self._recorder.tag_of(op)
+
+
+class TestFalsyTagRegression:
+    def test_clean_history_with_falsy_tags_passes(self):
+        b = TaggedBuilder()
+        b.write(0, "a", _FalsyTag(1, 0))
+        b.read(1, "a", _FalsyTag(1, 0))
+        result = check_tagged_history(b.history, b.recorder)
+        assert result.ok, result.violations
+
+    def test_falsy_tag_is_not_treated_as_missing(self):
+        # Regression for the `tags.get(op) or recorder.tag_of(op)`
+        # pattern: a falsy tag fell through to a second recorder
+        # lookup, and with a consumable side channel the write's tag
+        # never made it into the tag->value index -- downgrading the
+        # precise mismatch diagnostic to the weaker no-write fallback.
+        b = TaggedBuilder()
+        b.write(0, "a", _FalsyTag(1, 0))
+        b.read(1, "other", _FalsyTag(1, 0))
+        result = check_tagged_history(b.history, _OneShotRecorder(b.recorder))
+        assert not result.ok
+        assert any("was written with" in v for v in result.violations)
+
+    def test_duplicate_falsy_write_tags_flagged(self):
+        b = TaggedBuilder()
+        b.write(0, "a", _FalsyTag(1, 0))
+        b.write(1, "b", _FalsyTag(1, 0))
+        result = check_tagged_history(b.history, b.recorder)
+        assert not result.ok
+        assert any("duplicate write tag" in v for v in result.violations)
+
+
 class TestScale:
     def test_thousand_operation_history_checks_quickly(self):
         b = TaggedBuilder()

@@ -86,8 +86,13 @@ def main() -> None:
     for key in CONFIG_KEYS:
         print(f"  {key} = {store.read_sync(key, pid=0)!r}")
 
+    # Every key's projected history is verified independently: small
+    # projections by the exhaustive black-box search, large ones by the
+    # scalable white-box tag checker (see docs/checking.md).
     report = store.check_atomicity()
-    print(f"== all {len(report.per_key)} per-key histories atomic: {report.ok} ==")
+    checkers = sorted({checker for _, checker, _ in report.per_key.values()})
+    print(f"== all {len(report.per_key)} per-key histories atomic: "
+          f"{report.ok} (via {', '.join(checkers)}) ==")
 
 
 if __name__ == "__main__":

@@ -43,6 +43,10 @@ def main() -> None:
     print(f"after total crash, majority recovered: {cluster.read_sync(1)!r}")
 
     # The recorded history is checked against the formal criterion.
+    # Small histories like this one get the exhaustive black-box
+    # search; past its cap, method="auto" switches to the near-linear
+    # white-box tag checker (see docs/checking.md), so the same call
+    # scales to soak-sized runs.
     verdict = cluster.check_atomicity()
     print(f"persistent atomicity: {verdict.ok} "
           f"({verdict.operations} operations checked)")

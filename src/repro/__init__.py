@@ -14,6 +14,10 @@ Emulations of Shared Memory in a Crash-Recovery Model* (ICDCS 2004):
 * a sharded key-value store (:mod:`repro.kv`) multiplexing many
   register instances over one cluster, with batching and per-key
   atomicity checking;
+* a declarative scenario suite (:mod:`repro.scenarios`): named,
+  seed-reproducible fault/workload programs -- rolling crashes,
+  partitions, loss bursts, the 100k-operation soak -- with
+  incremental verification (``python -m repro soak --list``);
 * experiment harnesses regenerating every figure of the evaluation.
 
 Quickstart::
@@ -76,6 +80,14 @@ from repro.kv import (
 )
 from repro.metrics import RunMetrics, collect_metrics
 from repro.protocol.registry import PROTOCOLS, get_protocol_class
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
 from repro.sim.failures import CrashSchedule, RandomCrashPlan
 
 __version__ = "1.1.0"
@@ -101,6 +113,9 @@ __all__ = [
     "RandomCrashPlan",
     "ReproError",
     "RunMetrics",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
     "ShardMap",
     "SimCluster",
     "SizedValue",
@@ -113,6 +128,9 @@ __all__ = [
     "check_transient_atomicity",
     "collect_metrics",
     "get_protocol_class",
+    "get_scenario",
+    "list_scenarios",
     "partition_history",
+    "run_scenario",
     "__version__",
 ]

@@ -11,10 +11,14 @@ Usage::
     python -m repro weaker-memory
     python -m repro kv-bench [--quick]
     python -m repro bench [--quick]
+    python -m repro soak --list
+    python -m repro soak soak-100k --seed 7
     python -m repro all
 
-Each subcommand prints the same rows/series the paper reports (see
-EXPERIMENTS.md for the paper-vs-measured comparison).
+The figure/table subcommands print the same rows/series the paper
+reports (see docs/protocols.md for the paper-vs-measured mapping);
+``bench`` and ``soak`` track the engine's own performance and the
+scenario suite (see docs/benchmarks.md and docs/scenarios.md).
 """
 
 from __future__ import annotations
@@ -188,6 +192,53 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_soak(args: argparse.Namespace) -> str:
+    from repro.scenarios.soak import (
+        format_scenario_list,
+        format_soak_results,
+        run_soak,
+        run_soak_suite,
+        write_soak_file,
+    )
+
+    if getattr(args, "list", False):
+        return format_scenario_list()
+    scenario = getattr(args, "scenario", None)
+    quick = getattr(args, "quick", False)
+    output_dir = getattr(args, "output_dir", ".")
+    if scenario is None:
+        # Bare ``repro soak`` (and ``repro all``) smoke the whole
+        # library at quick budgets; ``--ops`` sets one explicit budget
+        # for every scenario instead.
+        ops = getattr(args, "ops", None)
+        results = run_soak_suite(
+            protocol=getattr(args, "protocol", None),
+            seed=getattr(args, "seed", None),
+            ops=ops,
+        )
+        path = write_soak_file(results, output_dir, quick=ops is None)
+        budgets = (
+            f"{ops}-op budgets" if ops is not None else "quick smoke budgets"
+        )
+        return (
+            f"Scenario suite ({budgets}; see docs/scenarios.md)\n\n"
+            + format_soak_results(results)
+            + f"\n\nwrote {path}"
+        )
+    ops = getattr(args, "ops", None)
+    result = run_soak(
+        scenario,
+        protocol=getattr(args, "protocol", None),
+        seed=getattr(args, "seed", None),
+        ops=ops,
+        quick=quick,
+    )
+    # The payload's quick flag records whether the budget was actually
+    # trimmed; an explicit --ops overrides --quick in run_soak.
+    path = write_soak_file([result], output_dir, quick=quick and ops is None)
+    return result.summary() + f"\n\nwrote {path}"
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure6-top": _cmd_figure6_top,
     "figure6-bottom": _cmd_figure6_bottom,
@@ -200,6 +251,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "show-run": _cmd_show_run,
     "kv-bench": _cmd_kv_bench,
     "bench": _cmd_bench,
+    "soak": _cmd_soak,
 }
 
 
@@ -213,6 +265,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in COMMANDS:
+        if name == "soak":
+            sub = subparsers.add_parser(
+                name,
+                help="run fault/workload scenarios (see repro soak --list)",
+            )
+            sub.add_argument(
+                "scenario", nargs="?", default=None,
+                help="scenario name (omit to smoke the whole library)",
+            )
+            sub.add_argument(
+                "--list", action="store_true",
+                help="list the registered scenarios and exit",
+            )
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="trim the operation budget to the CI smoke size "
+                "(the whole-suite run is always smoke-sized unless "
+                "--ops sets an explicit budget)",
+            )
+            sub.add_argument(
+                "--seed", type=int, default=None,
+                help="override the scenario's default seed",
+            )
+            sub.add_argument(
+                "--ops", type=int, default=None,
+                help="override the scenario's total operation budget",
+            )
+            sub.add_argument(
+                "--protocol", default=None,
+                help="override the scenario's default register protocol",
+            )
+            sub.add_argument(
+                "--output-dir", dest="output_dir", default=".",
+                help="directory for BENCH_soak.json (default: current directory)",
+            )
+            continue
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         sub.add_argument(
             "--repeats", type=int, default=50,

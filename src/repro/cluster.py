@@ -23,6 +23,15 @@ Beyond the single anonymous register, a cluster can host named
 :meth:`SimCluster.ensure_register` and address them with the ``key``
 argument of :meth:`write`/:meth:`read`.  The sharded, batching
 key-value front-end lives in :mod:`repro.kv`.
+
+Failure injection composes on top: :meth:`SimCluster.install_schedule`
+arms a time-based :class:`~repro.sim.failures.CrashSchedule`, the
+cluster's :attr:`~SimCluster.injector` fires trace-triggered
+adversaries, and the declarative scenario layer
+(:mod:`repro.scenarios`) builds whole fault/workload/verification
+programs from both.  Verification is :meth:`SimCluster.check_atomicity`:
+exhaustive black-box search on small histories, the near-linear
+white-box tag checker beyond the exhaustive cap (``method="auto"``).
 """
 
 from __future__ import annotations
@@ -344,6 +353,7 @@ class SimCluster:
         predicate,
         timeout: Optional[float] = None,
         poll_every: int = 1,
+        max_events: int = 1_000_000,
     ) -> bool:
         """Advance the simulation until ``predicate()`` holds.
 
@@ -351,10 +361,14 @@ class SimCluster:
         :meth:`repro.sim.kernel.Kernel.run_until`): with a stride ``k``
         up to ``k - 1`` further events may execute after the predicate
         turns true, so only pass ``k > 1`` when that overshoot is
-        acceptable (e.g. draining a finished workload).
+        acceptable (e.g. draining a finished workload).  ``max_events``
+        bounds the number of kernel callbacks; soak-scale runs (a
+        simulated operation costs tens of kernel events) must raise it
+        above the livelock-guard default.
         """
         return self.kernel.run_until(
-            predicate, timeout=timeout, poll_every=poll_every
+            predicate, timeout=timeout, poll_every=poll_every,
+            max_events=max_events,
         )
 
     @property

@@ -1,7 +1,8 @@
 """Experiment harnesses regenerating the paper's figures and claims.
 
-One module per table/figure (see the per-experiment index in
-DESIGN.md):
+One module per table/figure (``docs/protocols.md`` maps each algorithm
+to its paper section; ``docs/benchmarks.md`` covers the non-paper
+``bench`` harness):
 
 * :mod:`repro.experiments.figure1` -- the persistent vs. transient runs
   of Figure 1 (overlapping-write semantics);

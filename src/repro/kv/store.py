@@ -347,10 +347,15 @@ class KVCluster:
         self.sim.run(duration, max_events=max_events)
 
     def run_until(
-        self, predicate, timeout: Optional[float] = None, poll_every: int = 1
+        self,
+        predicate,
+        timeout: Optional[float] = None,
+        poll_every: int = 1,
+        max_events: int = 1_000_000,
     ) -> bool:
         return self.sim.run_until(
-            predicate, timeout=timeout, poll_every=poll_every
+            predicate, timeout=timeout, poll_every=poll_every,
+            max_events=max_events,
         )
 
     def crash(self, pid: ProcessId) -> None:

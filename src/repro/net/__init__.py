@@ -1,4 +1,12 @@
-"""Network delay models shared by the simulator and the experiments."""
+"""Network delay models shared by the simulator and the experiments.
+
+:class:`~repro.net.delay.DelayModel` turns a message size into a
+delivery delay -- the linear ``base_delay + size / bandwidth + jitter``
+model (plus loss and duplication probabilities) calibrated against the
+paper's 100 Mb/s LAN testbed.  :mod:`repro.sim.network` samples it
+per transmission; the figure harnesses read its constants to place the
+analytic curves.
+"""
 
 from repro.net.delay import DelayModel, DelaySample
 

@@ -2,8 +2,8 @@
 
 Section I-C of the paper motivates each log of the persistent algorithm
 by the failure it prevents (*forgotten-value*, *confused-values*,
-*orphan-value*).  DESIGN.md calls these design choices out for
-ablation: each class below removes exactly one ingredient, and the
+*orphan-value*; the table in ``docs/protocols.md`` maps each variant to
+its anomaly).  Each class below removes exactly one ingredient, and the
 integration tests demonstrate that the corresponding anomaly becomes
 reachable (caught by the atomicity checkers) under an adversarial
 crash or schedule.

@@ -1,0 +1,73 @@
+"""Declarative fault/workload scenarios: the simulator as an adversary.
+
+This package turns ad-hoc failure testing into named, seed-reproducible
+programs.  A :class:`~repro.scenarios.spec.Scenario` composes three
+ingredients declaratively:
+
+* **fault schedules** (:mod:`repro.scenarios.faults`) -- timed crashes
+  and recoveries, rolling restart waves, partitions that heal,
+  message-loss bursts, slow-link windows, and trace-triggered crashes
+  with the instant precision of the paper's lower-bound adversaries;
+* **workload phases** (:class:`~repro.scenarios.spec.WorkloadPhase`) --
+  closed-loop read/write mixes on the single register or zipfian key
+  traffic on the sharded KV store, with per-phase operation budgets
+  split from one scalable total;
+* **verification policy** -- per-phase incremental white-box checks
+  (cheap, thanks to the append-only :class:`~repro.history.history
+  .History` contract) or one final check.
+
+Key entry points: :func:`~repro.scenarios.runner.run_scenario` executes
+any spec and returns a :class:`~repro.scenarios.runner.ScenarioResult`
+whose ``fingerprint()`` is identical across same-seed runs;
+:data:`~repro.scenarios.library.SCENARIOS` is the named library
+(steady-state through the 100k-operation soak) behind the
+``repro soak`` CLI; :mod:`repro.scenarios.soak` writes the
+``BENCH_soak.json`` trajectory point.
+
+Quickstart::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    result = run_scenario(get_scenario("rolling-crash"), seed=7)
+    assert result.verdict          # every incremental check passed
+    print(result.summary())
+"""
+
+from repro.scenarios.faults import (
+    CrashAt,
+    CrashOnTrace,
+    Downtime,
+    FaultAction,
+    LossBurst,
+    PartitionWindow,
+    RollingRestarts,
+    SlowLinks,
+)
+from repro.scenarios.library import SCENARIOS, get_scenario, list_scenarios
+from repro.scenarios.runner import (
+    CheckOutcome,
+    PhaseOutcome,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.scenarios.spec import Scenario, WorkloadPhase
+
+__all__ = [
+    "SCENARIOS",
+    "CheckOutcome",
+    "CrashAt",
+    "CrashOnTrace",
+    "Downtime",
+    "FaultAction",
+    "LossBurst",
+    "PartitionWindow",
+    "PhaseOutcome",
+    "RollingRestarts",
+    "Scenario",
+    "ScenarioResult",
+    "SlowLinks",
+    "WorkloadPhase",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+]

@@ -1,0 +1,245 @@
+"""The named scenario library and its registry.
+
+Each entry composes the fault primitives of
+:mod:`repro.scenarios.faults` with workload phases into one named,
+seed-reproducible adversary.  The library covers the regimes the
+crash-recovery model cares about -- steady state, rolling restarts, a
+crash landed mid-write by a trace trigger, partitions that heal,
+correlated crash/recovery storms, lossy and slow networks, zipfian
+contention on the KV store, full-trace capture, and the 100k-operation
+soak -- and is the registration point for every future scenario:
+define it here and ``repro soak`` picks it up.
+
+Budgets scale: ``run_scenario(..., ops=N)`` stretches or shrinks any
+scenario, so the same specs serve CI smoke runs and overnight soaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.scenarios.faults import (
+    CrashOnTrace,
+    Downtime,
+    LossBurst,
+    PartitionWindow,
+    RollingRestarts,
+    SlowLinks,
+)
+from repro.scenarios.spec import STORE_KV, Scenario, WorkloadPhase
+
+__all__ = ["SCENARIOS", "get_scenario", "list_scenarios"]
+
+
+def _build_library() -> Dict[str, Scenario]:
+    scenarios = [
+        Scenario(
+            name="steady-state",
+            description=(
+                "No faults: a balanced phase, a read-heavy phase (90% "
+                "reads) and a write-heavy phase (90% writes), each "
+                "re-checked incrementally"
+            ),
+            default_ops=900,
+            phases=(
+                WorkloadPhase(name="balanced", read_fraction=0.5),
+                WorkloadPhase(name="read-heavy", read_fraction=0.9),
+                WorkloadPhase(name="write-heavy", read_fraction=0.1),
+            ),
+        ),
+        Scenario(
+            name="rolling-crash",
+            description=(
+                "A rolling restart wave: every process crashes and "
+                "recovers in turn while the workload keeps running"
+            ),
+            default_ops=900,
+            phases=(
+                WorkloadPhase(name="warm", weight=1.0),
+                WorkloadPhase(
+                    name="wave",
+                    weight=2.0,
+                    faults=(
+                        RollingRestarts(
+                            start=2e-3, interval=4e-3, downtime=2e-3
+                        ),
+                    ),
+                ),
+                WorkloadPhase(name="drain", weight=1.0),
+            ),
+        ),
+        Scenario(
+            name="crash-during-write",
+            description=(
+                "A trace trigger crashes process 0 the instant its "
+                "first stable-storage log begins -- mid-write, before "
+                "the log completes -- then recovers it"
+            ),
+            default_ops=600,
+            phases=(
+                WorkloadPhase(
+                    name="interrupted",
+                    weight=1.0,
+                    read_fraction=0.2,
+                    faults=(
+                        CrashOnTrace(
+                            kind="store_begin",
+                            pid=0,
+                            source_pid=0,
+                            recover_after=2e-3,
+                        ),
+                    ),
+                ),
+                WorkloadPhase(name="drain", weight=1.0),
+            ),
+        ),
+        Scenario(
+            name="partition-heal",
+            description=(
+                "Processes 3 and 4 are partitioned from the majority; "
+                "their operations stall on the quorum until the "
+                "partition heals, then complete"
+            ),
+            default_ops=600,
+            phases=(
+                WorkloadPhase(
+                    name="partitioned",
+                    weight=2.0,
+                    faults=(
+                        PartitionWindow(
+                            group_a=(3, 4),
+                            group_b=(0, 1, 2),
+                            start=1e-3,
+                            end=8e-3,
+                        ),
+                    ),
+                ),
+                WorkloadPhase(name="healed", weight=1.0),
+            ),
+        ),
+        Scenario(
+            name="recovery-storm",
+            description=(
+                "A correlated minority crash plus a message-loss burst "
+                "over the recovery window -- recoveries fight loss for "
+                "their majority"
+            ),
+            default_ops=900,
+            phases=(
+                WorkloadPhase(name="warm", weight=1.0),
+                WorkloadPhase(
+                    name="storm",
+                    weight=2.0,
+                    faults=(
+                        Downtime(pid=3, start=1e-3, end=5e-3),
+                        Downtime(pid=4, start=1.2e-3, end=5.5e-3),
+                        LossBurst(start=4e-3, end=9e-3, probability=0.15, seed=11),
+                    ),
+                ),
+                WorkloadPhase(name="drain", weight=1.0),
+            ),
+        ),
+        Scenario(
+            name="loss-burst",
+            description=(
+                "A 20% message-loss burst mid-run; retransmission "
+                "carries every operation through (fair-lossy channels)"
+            ),
+            default_ops=600,
+            phases=(
+                WorkloadPhase(
+                    name="lossy",
+                    faults=(
+                        LossBurst(start=1e-3, end=10e-3, probability=0.2, seed=5),
+                    ),
+                ),
+                WorkloadPhase(name="clear", weight=0.5),
+            ),
+        ),
+        Scenario(
+            name="slow-links",
+            description=(
+                "Every link gains +500us of delay for a window: "
+                "round-trips stretch, nothing is lost, latency spikes"
+            ),
+            default_ops=600,
+            phases=(
+                WorkloadPhase(
+                    name="degraded",
+                    faults=(
+                        SlowLinks(start=1e-3, end=10e-3, extra_delay=5e-4),
+                    ),
+                ),
+                WorkloadPhase(name="recovered", weight=0.5),
+            ),
+        ),
+        Scenario(
+            name="zipfian-contention",
+            description=(
+                "16 closed-loop clients hammer 8 keys with a steep "
+                "zipfian (s=1.2) on the sharded KV store; every key's "
+                "projection is checked"
+            ),
+            store=STORE_KV,
+            default_ops=640,
+            num_shards=4,
+            batch_window=2e-5,
+            phases=(
+                WorkloadPhase(
+                    name="contention",
+                    clients=16,
+                    num_keys=8,
+                    zipf_s=1.2,
+                ),
+            ),
+        ),
+        Scenario(
+            name="trace-capture",
+            description=(
+                "Steady run with full trace capture: the result carries "
+                "the normalized event transcript (soak-scale capture is "
+                "the point -- budget-bound, seed-reproducible)"
+            ),
+            default_ops=400,
+            capture_trace=True,
+            phases=(
+                WorkloadPhase(name="captured-a"),
+                WorkloadPhase(name="captured-b"),
+            ),
+        ),
+        Scenario(
+            name="soak-100k",
+            description=(
+                "The 100k-operation soak: five 20k phases, each "
+                "followed by an incremental white-box check of the "
+                "whole history so far"
+            ),
+            default_ops=100_000,
+            default_seed=7,
+            phases=tuple(
+                WorkloadPhase(name=f"soak-{i + 1}") for i in range(5)
+            ),
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+#: The named scenario registry, keyed by scenario name.
+SCENARIOS: Dict[str, Scenario] = _build_library()
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name; raises on unknown names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None
+
+
+def list_scenarios() -> List[Scenario]:
+    """Every registered scenario, sorted by name."""
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]

@@ -1,0 +1,563 @@
+"""Scenario execution: spec in, seed-reproducible verdict out.
+
+:func:`run_scenario` builds the cluster a :class:`~repro.scenarios
+.spec.Scenario` asks for, then walks its phases: arm the phase's
+faults, drive its closed-loop workload to completion, and (under the
+``per-phase`` policy) re-check the *same* growing history with the
+white-box tag checker.  The append-only :class:`~repro.history
+.history.History` contract makes each re-check reuse the cached
+operation records (only the phase's new events are folded in); the
+checker's sweep itself still walks the whole history, so a pass costs
+O(N log N) of the history so far -- cheap in absolute terms (~0.7s at
+100k operations), but with many phases the total verification cost is
+O(phases x N), so phase counts stay small even for soaks.
+
+Everything observable lands in a :class:`ScenarioResult`.  Its
+:meth:`~ScenarioResult.fingerprint` is the determinism contract: two
+runs of the same scenario, seed, protocol and budget produce equal
+fingerprints (verdicts, per-phase metrics, counters and -- with
+``capture_trace`` -- the normalized event transcript).  Wall-clock
+timings are reported alongside but excluded from the fingerprint.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.history.register_checker import check_tagged_history
+from repro.scenarios.faults import victims_of
+from repro.scenarios.spec import (
+    STORE_KV,
+    VERIFY_PER_PHASE,
+    Scenario,
+    WorkloadPhase,
+)
+from repro.workloads.generators import (
+    ClientPlan,
+    OperationMix,
+    UniqueValues,
+    WorkloadRunner,
+)
+from repro.workloads.kv import ZipfianKeys, KVWorkloadRunner
+
+#: Virtual seconds allowed per operation when sizing phase timeouts
+#: (generous: a healthy write costs ~1 ms of virtual time).
+_TIMEOUT_PER_OP = 0.02
+_TIMEOUT_FLOOR = 30.0
+#: Kernel-event budget per operation (a simulated op costs tens of
+#: events; retransmissions during partitions cost more).
+_EVENTS_PER_OP = 2_000
+_EVENTS_FLOOR = 2_000_000
+
+_OPID = re.compile(r"p(\d+)#(\d+)")
+
+
+@dataclass
+class CheckOutcome:
+    """One verification pass over the recorded history."""
+
+    phase: str
+    ok: bool
+    criterion: str
+    method: str
+    operations: int
+    violations: str = ""
+    #: Wall seconds the check took; excluded from the fingerprint.
+    wall_s: float = 0.0
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "ok": self.ok,
+            "criterion": self.criterion,
+            "method": self.method,
+            "operations": self.operations,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class PhaseOutcome:
+    """What one workload phase did.
+
+    ``sim_duration`` is the virtual time the phase's workload occupied
+    -- for the KV front-end that is the measured window after key
+    preload, for the register front-end the whole phase.
+    """
+
+    name: str
+    attempted: int
+    completed: int
+    aborted: int
+    unissued: int
+    sim_duration: float
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "attempted": self.attempted,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "unissued": self.unissued,
+            "sim_duration": round(self.sim_duration, 12),
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    store: str
+    protocol: str
+    seed: int
+    ops: int
+    phases: List[PhaseOutcome] = field(default_factory=list)
+    checks: List[CheckOutcome] = field(default_factory=list)
+    completed: int = 0
+    aborted: int = 0
+    unissued: int = 0
+    final_clock: float = 0.0
+    kernel_events: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    stores_completed: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    #: Normalized trace transcript (``capture_trace`` scenarios only).
+    transcript: Optional[str] = None
+    #: Wall seconds: total run, and verification alone.  Excluded from
+    #: the fingerprint -- they vary run to run.
+    wall_s: float = 0.0
+    check_wall_s: float = 0.0
+
+    @property
+    def verdict(self) -> bool:
+        """Whether the run is healthy: checks passed AND work finished.
+
+        A stalled workload (a partition that never healed, an
+        exhausted event budget) leaves operations unissued; the checks
+        would trivially accept the truncated history, so unissued work
+        fails the verdict on its own.  Aborted operations do *not* --
+        crash scenarios abort in-flight work by design, and the
+        checkers judge whether the survivors stayed atomic.
+        """
+        return (
+            bool(self.checks)
+            and all(check.ok for check in self.checks)
+            and self.unissued == 0
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The deterministic subset: equal across same-seed runs."""
+        return {
+            "scenario": self.scenario,
+            "store": self.store,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "ops": self.ops,
+            "phases": [phase.fingerprint() for phase in self.phases],
+            "checks": [check.fingerprint() for check in self.checks],
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "unissued": self.unissued,
+            "final_clock": round(self.final_clock, 12),
+            "kernel_events": self.kernel_events,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "stores_completed": self.stores_completed,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "transcript": self.transcript,
+            "verdict": self.verdict,
+        }
+
+    def summary(self) -> str:
+        """A short human-readable report for the CLI."""
+        lines = [
+            f"scenario {self.scenario} ({self.store}, {self.protocol}, "
+            f"seed {self.seed}): {'PASS' if self.verdict else 'FAIL'}",
+            f"  operations: {self.completed} completed, {self.aborted} aborted, "
+            f"{self.unissued} unissued of {self.ops}",
+            f"  virtual time {self.final_clock * 1e3:.1f}ms, "
+            f"{self.kernel_events:,} kernel events, "
+            f"{self.messages_sent:,} messages "
+            f"({self.messages_dropped:,} dropped), "
+            f"{self.stores_completed:,} stable-storage logs",
+            f"  failures: {self.crashes} crashes, {self.recoveries} recoveries",
+            f"  wall {self.wall_s:.2f}s (verification {self.check_wall_s:.2f}s)",
+        ]
+        for check in self.checks:
+            status = "ok" if check.ok else f"VIOLATED ({check.violations})"
+            lines.append(
+                f"  check[{check.phase}] {check.criterion}/{check.method}: "
+                f"{check.operations} ops, {status}, {check.wall_s * 1e3:.0f}ms"
+            )
+        if self.transcript is not None:
+            lines.append(
+                f"  transcript: {len(self.transcript.splitlines()):,} trace events"
+            )
+        return "\n".join(lines)
+
+
+def _normalize_transcript(lines: List[str]) -> str:
+    """Renumber operation ids by first appearance.
+
+    Operation ids come from a process-global counter, so raw ``seq``
+    components depend on whatever ran earlier in the interpreter; the
+    renumbering makes transcripts comparable across runs (same trick as
+    the determinism goldens).
+    """
+    mapping: Dict[str, str] = {}
+
+    def rename(match: "re.Match[str]") -> str:
+        token = match.group(0)
+        if token not in mapping:
+            mapping[token] = f"p{match.group(1)}#op{len(mapping)}"
+        return mapping[token]
+
+    return "\n".join(_OPID.sub(rename, line) for line in lines)
+
+
+def _phase_seed(seed: int, index: int) -> int:
+    """A per-phase derived seed, stable and collision-free in practice."""
+    return seed * 1_000_003 + 7919 * (index + 1)
+
+
+def _supports_recovery(protocol: str) -> bool:
+    from repro.protocol.registry import get_protocol_class
+
+    return getattr(
+        get_protocol_class(protocol, include_broken=True),
+        "supports_recovery",
+        True,
+    )
+
+
+def _effective_faults(phase: WorkloadPhase, supports_recovery: bool):
+    """The phase's faults, adapted to the protocol's failure model.
+
+    Crash-stop processes never recover (recovery raises), so against
+    that baseline every crash-producing fault is skipped -- the
+    scenario still runs its workload and network faults, it just
+    cannot exercise the crash choreography the crash-recovery
+    algorithms exist for.
+    """
+    if supports_recovery:
+        return phase.faults
+    return tuple(fault for fault in phase.faults if not fault.victims())
+
+
+def _client_pids(scenario: Scenario, supports_recovery: bool) -> List[int]:
+    """Replicas clients may be pinned to.
+
+    Clients keep off any replica a fault kills for good
+    (:meth:`~repro.scenarios.faults.FaultAction.permanent_victims`) --
+    a client pinned there would stall against a process that never
+    comes back.  If the faults doom every replica, clients stay on the
+    full set and the run simply reports the unissued work.
+    """
+    everyone = list(range(scenario.num_processes))
+    faults = [
+        fault
+        for phase in scenario.phases
+        for fault in _effective_faults(phase, supports_recovery)
+    ]
+    doomed = victims_of(faults, scenario.num_processes, permanent_only=True)
+    survivors = [pid for pid in everyone if pid not in doomed]
+    return survivors or everyone
+
+
+def _check(
+    cluster, recorder, criterion: str, phase: str, method: str
+) -> CheckOutcome:
+    """One white-box verification pass over the recorded history."""
+    started = time.perf_counter()
+    result = check_tagged_history(cluster.history, recorder, criterion)
+    wall = time.perf_counter() - started
+    return CheckOutcome(
+        phase=phase,
+        ok=result.ok,
+        criterion=criterion,
+        method=method,
+        operations=result.operations,
+        violations="; ".join(result.violations),
+        wall_s=wall,
+    )
+
+
+def _drive_phases(
+    result: ScenarioResult,
+    scenario: Scenario,
+    recovery: bool,
+    arm_target,
+    run_phase,
+    check_fn,
+    prepare_phase=None,
+) -> None:
+    """The shared phase loop of both store front-ends.
+
+    Per phase: run the front-end's ``prepare_phase`` (the KV store
+    preloads its key universe here -- *before* the faults, so a
+    phase-relative fault window cannot elapse inside setup), arm the
+    phase's (protocol-adapted) faults, let ``run_phase(phase,
+    phase_ops, index)`` drive the workload and report a
+    :class:`PhaseOutcome`, fold the counters, and apply the
+    verification policy via ``check_fn(phase_name)``.
+    """
+    shares = scenario.split_ops(result.ops)
+    for index, (phase, phase_ops) in enumerate(zip(scenario.phases, shares)):
+        if prepare_phase is not None:
+            prepare_phase(phase, index)
+        for fault in _effective_faults(phase, recovery):
+            fault.arm(arm_target)
+        outcome = run_phase(phase, phase_ops, index)
+        result.phases.append(outcome)
+        result.completed += outcome.completed
+        result.aborted += outcome.aborted
+        result.unissued += outcome.unissued
+        if scenario.verify == VERIFY_PER_PHASE:
+            result.checks.append(check_fn(phase.name))
+    if scenario.verify != VERIFY_PER_PHASE:
+        result.checks.append(check_fn("final"))
+
+
+def run_scenario(
+    scenario: Scenario,
+    protocol: Optional[str] = None,
+    seed: Optional[int] = None,
+    ops: Optional[int] = None,
+    capture_trace: Optional[bool] = None,
+) -> ScenarioResult:
+    """Execute ``scenario`` and return its result.
+
+    ``protocol``, ``seed``, ``ops`` and ``capture_trace`` override the
+    scenario's defaults; everything else is the spec's business.  Two
+    calls with equal arguments produce equal
+    :meth:`ScenarioResult.fingerprint` values.
+    """
+    protocol = protocol or scenario.default_protocol
+    seed = scenario.default_seed if seed is None else seed
+    ops = scenario.default_ops if ops is None else ops
+    if ops < 1:
+        raise ConfigurationError("ops must be >= 1")
+    capture = scenario.capture_trace if capture_trace is None else capture_trace
+    criterion = "transient" if protocol == "transient" else "persistent"
+
+    started = time.perf_counter()
+    if scenario.store == STORE_KV:
+        result = _run_kv(scenario, protocol, seed, ops, capture, criterion)
+    else:
+        result = _run_register(scenario, protocol, seed, ops, capture, criterion)
+    result.wall_s = time.perf_counter() - started
+    result.check_wall_s = sum(check.wall_s for check in result.checks)
+    return result
+
+
+# -- register front-end ------------------------------------------------------
+
+
+def _register_plans(
+    phase: WorkloadPhase,
+    phase_ops: int,
+    pids: List[int],
+    rng: random.Random,
+) -> List[ClientPlan]:
+    """Closed-loop plans distributing ``phase_ops`` over the clients."""
+    clients = min(phase.clients or len(pids), len(pids))
+    mix = OperationMix(read_fraction=phase.read_fraction)
+    base, extra = divmod(phase_ops, clients)
+    plans = []
+    for i in range(clients):
+        count = base + (1 if i < extra else 0)
+        if count:
+            plans.append(ClientPlan(pid=pids[i], kinds=mix.plan(count, rng)))
+    return plans
+
+
+def _run_register(
+    scenario: Scenario,
+    protocol: str,
+    seed: int,
+    ops: int,
+    capture: bool,
+    criterion: str,
+) -> ScenarioResult:
+    from repro.cluster import SimCluster
+
+    cluster = SimCluster(
+        protocol=protocol,
+        num_processes=scenario.num_processes,
+        seed=seed,
+        capture_trace=capture,
+    )
+    cluster.start()
+    result = ScenarioResult(
+        scenario=scenario.name,
+        store=scenario.store,
+        protocol=protocol,
+        seed=seed,
+        ops=ops,
+    )
+    recovery = _supports_recovery(protocol)
+    pids = _client_pids(scenario, recovery)
+    values = UniqueValues()
+
+    def run_phase(phase: WorkloadPhase, phase_ops: int, index: int) -> PhaseOutcome:
+        rng = random.Random(_phase_seed(seed, index))
+        plans = _register_plans(phase, phase_ops, pids, rng)
+        phase_began = cluster.now
+        report = WorkloadRunner(cluster, plans, values=values).run(
+            timeout=max(_TIMEOUT_FLOOR, phase_ops * _TIMEOUT_PER_OP),
+            max_events=max(_EVENTS_FLOOR, phase_ops * _EVENTS_PER_OP),
+        )
+        return PhaseOutcome(
+            name=phase.name,
+            attempted=phase_ops,
+            completed=report.completed,
+            aborted=report.aborted,
+            unissued=report.unissued,
+            sim_duration=cluster.now - phase_began,
+        )
+
+    def check_fn(phase_name: str) -> CheckOutcome:
+        return _check(cluster, cluster.recorder, criterion, phase_name, "white-box")
+
+    _drive_phases(result, scenario, recovery, cluster, run_phase, check_fn)
+    _finalize(result, cluster, capture)
+    return result
+
+
+# -- KV front-end ------------------------------------------------------------
+
+
+def _run_kv(
+    scenario: Scenario,
+    protocol: str,
+    seed: int,
+    ops: int,
+    capture: bool,
+    criterion: str,
+) -> ScenarioResult:
+    from repro.kv.store import KVCluster
+
+    kv = KVCluster(
+        protocol=protocol,
+        num_processes=scenario.num_processes,
+        num_shards=scenario.num_shards,
+        batch_window=scenario.batch_window,
+        seed=seed,
+        capture_trace=capture,
+    )
+    kv.start()
+    result = ScenarioResult(
+        scenario=scenario.name,
+        store=scenario.store,
+        protocol=protocol,
+        seed=seed,
+        ops=ops,
+    )
+    recovery = _supports_recovery(protocol)
+    pids = _client_pids(scenario, recovery)
+    values = UniqueValues()
+    preloaded = set()
+
+    def keys_for(phase: WorkloadPhase, index: int) -> ZipfianKeys:
+        return ZipfianKeys(
+            num_keys=phase.num_keys, s=phase.zipf_s, seed=_phase_seed(seed, index)
+        )
+
+    def prepare_phase(phase: WorkloadPhase, index: int) -> None:
+        # Preload the phase's key universe before its faults are armed:
+        # provisioning 64 registers costs tens of virtual milliseconds,
+        # which would otherwise swallow a phase-relative fault window.
+        # Key names depend only on (num_keys, prefix), so a universe is
+        # preloaded once even across many phases.
+        keys = keys_for(phase, index)
+        signature = frozenset(keys.keys)
+        if signature - preloaded:
+            kv.preload(keys.keys, timeout=_TIMEOUT_FLOOR)
+            preloaded.update(signature)
+
+    def run_phase(phase: WorkloadPhase, phase_ops: int, index: int) -> PhaseOutcome:
+        clients = phase.clients or 16
+        # Distribute the phase's share exactly: the budget in the
+        # result/BENCH accounting must match what was attempted.
+        base, extra = divmod(phase_ops, clients)
+        per_client = [base + (1 if i < extra else 0) for i in range(clients)]
+        phase_seed = _phase_seed(seed, index)
+        runner = KVWorkloadRunner(
+            kv,
+            num_clients=clients,
+            operations_per_client=per_client,
+            read_fraction=phase.read_fraction,
+            keys=keys_for(phase, index),
+            seed=phase_seed,
+            pids=pids,
+            values=values,
+        )
+        report = runner.run(
+            timeout=max(_TIMEOUT_FLOOR, phase_ops * _TIMEOUT_PER_OP),
+            max_events=max(_EVENTS_FLOOR, phase_ops * _EVENTS_PER_OP),
+            preload=False,
+        )
+        return PhaseOutcome(
+            name=phase.name,
+            attempted=phase_ops,
+            completed=report.completed,
+            aborted=report.aborted,
+            unissued=report.unissued,
+            sim_duration=report.duration,
+        )
+
+    def check_fn(phase_name: str) -> CheckOutcome:
+        return _check_kv(kv, criterion, phase_name)
+
+    _drive_phases(
+        result, scenario, recovery, kv, run_phase, check_fn,
+        prepare_phase=prepare_phase,
+    )
+    _finalize(result, kv, capture)
+    return result
+
+
+def _check_kv(kv, criterion: str, phase: str) -> CheckOutcome:
+    """Per-key verification of every projection recorded so far."""
+    started = time.perf_counter()
+    report = kv.check_atomicity(criterion=criterion)
+    wall = time.perf_counter() - started
+    violations = "; ".join(
+        f"{key}: {reason}" for key, reason in sorted(report.failures.items())
+    )
+    return CheckOutcome(
+        phase=phase,
+        ok=report.ok,
+        criterion=criterion,
+        method="per-key",
+        operations=len(kv.history.completed_operations()),
+        violations=violations,
+        wall_s=wall,
+    )
+
+
+def _finalize(result: ScenarioResult, cluster, capture: bool) -> None:
+    """Collect run-wide counters (and the transcript, if captured)."""
+    sim = getattr(cluster, "sim", cluster)
+    result.final_clock = sim.kernel.now
+    result.kernel_events = sim.kernel.events_processed
+    result.messages_sent = sim.network.messages_sent
+    result.messages_dropped = sim.network.messages_dropped
+    result.stores_completed = sum(
+        node.storage.stores_completed for node in sim.nodes
+    )
+    result.crashes = sum(node.crash_count for node in sim.nodes)
+    result.recoveries = sim.trace.count("recover")
+    if capture:
+        result.transcript = _normalize_transcript(
+            [str(event) for event in sim.trace.events]
+        )

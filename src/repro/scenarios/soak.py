@@ -1,0 +1,168 @@
+"""The ``repro soak`` harness: run scenarios, record the trajectory.
+
+Wraps :func:`repro.scenarios.runner.run_scenario` for the CLI: run one
+named scenario (or, with ``--quick``, a budget-trimmed sweep of the
+whole library) and write a ``BENCH_soak.json`` trajectory point next to
+the engine/checker/KV ones -- per scenario: the verdict, operation
+counts, simulated duration and throughput, wall-clock cost split into
+run and verification, and the per-phase outcomes.  CI runs the quick
+sweep on every push and uploads the JSON, so scenario health and
+soak-scale cost are tracked over time like every other perf surface.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.bench import SCHEMA
+from repro.scenarios.library import get_scenario, list_scenarios
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import Scenario
+
+#: Operation budget per scenario under ``--quick`` (CI smoke sizing).
+QUICK_OPS = 150
+
+SOAK_FILE = "BENCH_soak.json"
+
+
+def quick_ops_for(scenario: Scenario) -> int:
+    """The trimmed budget ``--quick`` runs ``scenario`` with."""
+    return min(scenario.default_ops, max(QUICK_OPS, len(scenario.phases)))
+
+
+def run_soak(
+    name: str,
+    protocol: Optional[str] = None,
+    seed: Optional[int] = None,
+    ops: Optional[int] = None,
+    quick: bool = False,
+) -> ScenarioResult:
+    """Run one named scenario (``quick`` trims its budget)."""
+    scenario = get_scenario(name)
+    if quick and ops is None:
+        ops = quick_ops_for(scenario)
+    return run_scenario(scenario, protocol=protocol, seed=seed, ops=ops)
+
+
+def run_soak_suite(
+    protocol: Optional[str] = None,
+    seed: Optional[int] = None,
+    quick: bool = True,
+    ops: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Run every library scenario.
+
+    An explicit ``ops`` budget applies to every scenario and overrides
+    ``quick``; otherwise ``quick`` trims each scenario to its CI smoke
+    size and ``quick=False`` runs the full default budgets.
+    """
+    return [
+        run_scenario(
+            scenario,
+            protocol=protocol,
+            seed=seed,
+            ops=(
+                ops
+                if ops is not None
+                else quick_ops_for(scenario) if quick else None
+            ),
+        )
+        for scenario in list_scenarios()
+    ]
+
+
+def soak_row(result: ScenarioResult) -> Dict[str, Any]:
+    """One scenario's trajectory-point entry."""
+    return {
+        "scenario": result.scenario,
+        "store": result.store,
+        "protocol": result.protocol,
+        "seed": result.seed,
+        "ops": result.ops,
+        "completed": result.completed,
+        "aborted": result.aborted,
+        "unissued": result.unissued,
+        "verdict": result.verdict,
+        "checks": [check.fingerprint() for check in result.checks],
+        "sim_duration_s": result.final_clock,
+        "sim_ops_per_sec": (
+            result.completed / result.final_clock if result.final_clock else 0.0
+        ),
+        "kernel_events": result.kernel_events,
+        "messages_sent": result.messages_sent,
+        "crashes": result.crashes,
+        "recoveries": result.recoveries,
+        "wall_s": result.wall_s,
+        "check_wall_s": result.check_wall_s,
+        "wall_ops_per_sec": (
+            result.completed / result.wall_s if result.wall_s else 0.0
+        ),
+        "phases": [phase.fingerprint() for phase in result.phases],
+        "transcript_events": (
+            len(result.transcript.splitlines())
+            if result.transcript is not None
+            else None
+        ),
+    }
+
+
+def write_soak_file(
+    results: Sequence[ScenarioResult],
+    output_dir: str = ".",
+    quick: bool = False,
+) -> str:
+    """Write the ``BENCH_soak.json`` trajectory point; return its path."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA,
+        "suite": "soak",
+        "quick": quick,
+        "python": platform.python_version(),
+        "soak": [soak_row(result) for result in results],
+    }
+    path = directory / SOAK_FILE
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def format_soak_results(results: Sequence[ScenarioResult]) -> str:
+    """Render scenario outcomes as the table the CLI prints."""
+    header = (
+        f"{'scenario':<20} {'store':<8} {'protocol':<11} {'ops':>7}  "
+        f"{'completed':>9}  {'aborted':>7}  {'wall':>7}  {'verify':>7}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.scenario:<20} {result.store:<8} {result.protocol:<11} "
+            f"{result.ops:>7}  {result.completed:>9}  {result.aborted:>7}  "
+            f"{result.wall_s:>6.2f}s  {result.check_wall_s:>6.2f}s  "
+            f"{'PASS' if result.verdict else 'FAIL'}"
+        )
+    return "\n".join(lines)
+
+
+def format_scenario_list() -> str:
+    """The ``repro soak --list`` table."""
+    header = (
+        f"{'scenario':<20} {'store':<8} {'phases':>6} {'default ops':>11}  "
+        "description"
+    )
+    lines = [header, "-" * 100]
+    for scenario in list_scenarios():
+        description = " ".join(scenario.description.split())
+        lines.append(
+            f"{scenario.name:<20} {scenario.store:<8} "
+            f"{len(scenario.phases):>6} {scenario.default_ops:>11}  "
+            f"{description}"
+        )
+    lines.append("")
+    lines.append(
+        "run one with: python -m repro soak <scenario> "
+        "[--seed N] [--ops N] [--protocol P]"
+    )
+    return "\n".join(lines)

@@ -4,7 +4,8 @@ This package emulates the paper's testbed in software:
 
 * :mod:`repro.sim.kernel` -- virtual clock and event queue;
 * :mod:`repro.sim.network` -- fair-lossy message-passing channels with
-  size-dependent delays, drops, duplication and partitions;
+  size-dependent delays, drops, duplication, partitions and slow-link
+  penalties;
 * :mod:`repro.sim.storage` -- per-process stable storage whose contents
   survive crashes while volatile state does not;
 * :mod:`repro.sim.node` -- hosts one sans-io protocol instance, executes

@@ -83,8 +83,16 @@ class SimNetwork:
         self._delay_model = DelayModel(config)
         self._trace = NULL_TRACE if trace is None else trace
         self._handlers: Dict[ProcessId, DeliveryHandler] = {}
-        self._blocked_links: Set[Tuple[ProcessId, ProcessId]] = set()
+        # Link -> number of outstanding blocks.  Refcounted so that
+        # overlapping partition windows compose: a link stays blocked
+        # until every block placed on it is released.
+        self._blocked_links: Dict[Tuple[ProcessId, ProcessId], int] = {}
         self._filters: List[MessageFilter] = []
+        # Per-link accumulated delay penalties (slow links), applied on
+        # top of the sampled delay.  Additive for the same reason the
+        # blocks are refcounted; consulted only when non-empty so the
+        # common configuration pays one falsy check.
+        self._link_penalties: Dict[Tuple[ProcessId, ProcessId], float] = {}
         # Sender-side egress queues: transmissions serialize through the
         # sender's NIC, each occupying it for ``send_overhead``.
         self._egress_free_at: Dict[ProcessId, float] = {}
@@ -118,12 +126,23 @@ class SimNetwork:
     # -- partitions ----------------------------------------------------------
 
     def block(self, src: ProcessId, dst: ProcessId) -> None:
-        """Drop all future transmissions from ``src`` to ``dst``."""
-        self._blocked_links.add((src, dst))
+        """Drop all future transmissions from ``src`` to ``dst``.
+
+        Blocks stack: a link blocked twice (overlapping partition
+        windows) needs two :meth:`unblock` calls -- or one
+        :meth:`heal_all` -- before traffic flows again.
+        """
+        link = (src, dst)
+        self._blocked_links[link] = self._blocked_links.get(link, 0) + 1
 
     def unblock(self, src: ProcessId, dst: ProcessId) -> None:
-        """Heal a previously blocked link.  Idempotent."""
-        self._blocked_links.discard((src, dst))
+        """Release one block on the link.  No-op if none remain."""
+        link = (src, dst)
+        count = self._blocked_links.get(link, 0)
+        if count <= 1:
+            self._blocked_links.pop(link, None)
+        else:
+            self._blocked_links[link] = count - 1
 
     def partition(self, group_a: Set[ProcessId], group_b: Set[ProcessId]) -> None:
         """Block every link between ``group_a`` and ``group_b`` (both ways)."""
@@ -138,6 +157,51 @@ class SimNetwork:
 
     def is_blocked(self, src: ProcessId, dst: ProcessId) -> bool:
         return (src, dst) in self._blocked_links
+
+    # -- slow links --------------------------------------------------------
+
+    def slow_link(self, src: ProcessId, dst: ProcessId, extra_delay: float) -> None:
+        """Add ``extra_delay`` to every future ``src -> dst`` delivery.
+
+        Models a congested or degraded link: messages still arrive (and
+        still pay the sampled base delay), just later.  Penalties from
+        repeated calls accumulate, so overlapping slow-link windows
+        compose; release with :meth:`unslow_link` or
+        :meth:`reset_link_speeds`.  Deterministic -- the penalty
+        consumes no randomness.
+        """
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        if extra_delay > 0.0:
+            link = (src, dst)
+            self._link_penalties[link] = (
+                self._link_penalties.get(link, 0.0) + extra_delay
+            )
+
+    def unslow_link(self, src: ProcessId, dst: ProcessId, extra_delay: float) -> None:
+        """Remove ``extra_delay`` of penalty from the link (floor 0).
+
+        Residues below a picosecond are snapped to zero: symmetric
+        add/remove pairs of *different* magnitudes otherwise leave
+        float dust that would keep the penalty table (and its hot-path
+        check) alive forever.  Real penalties are microseconds and up.
+        """
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        link = (src, dst)
+        remaining = self._link_penalties.get(link, 0.0) - extra_delay
+        if remaining > 1e-12:
+            self._link_penalties[link] = remaining
+        else:
+            self._link_penalties.pop(link, None)
+
+    def reset_link_speeds(self) -> None:
+        """Remove every slow-link penalty."""
+        self._link_penalties.clear()
+
+    def link_penalty(self, src: ProcessId, dst: ProcessId) -> float:
+        """The current extra delay of the ``src -> dst`` link."""
+        return self._link_penalties.get((src, dst), 0.0)
 
     # -- message filters ---------------------------------------------------
 
@@ -230,6 +294,8 @@ class SimNetwork:
             delay = LOOPBACK_DELAY
         else:
             delay = self._delay_model.sample_total(message.size, self._kernel.rng)
+        if self._link_penalties:
+            delay += self._link_penalties.get((src, dst), 0.0)
         envelope = Envelope(src, dst, message, depth)
         self._kernel.schedule(queue_delay + delay, self._deliver, envelope)
 

@@ -1,4 +1,12 @@
-"""Stable-storage latency model shared by the simulator and experiments."""
+"""Stable-storage latency model shared by the simulator and experiments.
+
+:class:`~repro.storage.model.StorageLatencyModel` prices one
+synchronous log -- the paper's ~200us IDE-disk write plus bounded
+jitter -- as a function of the logged payload.
+:mod:`repro.sim.storage` samples it per store; the causal-log cost
+metric (:mod:`repro.history.causal_logs`) counts how often protocols
+pay it.
+"""
 
 from repro.storage.model import StorageLatencyModel
 

@@ -1,4 +1,23 @@
-"""Workload generation for experiments and soak tests."""
+"""Closed-loop workload drivers for experiments, benchmarks and scenarios.
+
+Reproduces the paper's closed-loop pattern -- each client issues an
+operation, waits for the reply, issues the next -- on the simulator,
+where "waiting" means chaining invocations off completion callbacks so
+clients stay concurrent in virtual time.  Two drivers:
+
+* :class:`~repro.workloads.generators.WorkloadRunner` /
+  :func:`~repro.workloads.generators.run_closed_loop` -- per-process
+  operation plans against the single register of a
+  :class:`~repro.cluster.SimCluster`;
+* :class:`~repro.workloads.kv.KVWorkloadRunner` /
+  :func:`~repro.workloads.kv.run_kv_closed_loop` -- N clients drawing
+  :class:`~repro.workloads.kv.ZipfianKeys` against the sharded
+  :class:`~repro.kv.store.KVCluster`.
+
+Both are crash-aware (an operation aborted by its coordinator's crash
+is counted and the client carries on) and fully seeded; the scenario
+layer (:mod:`repro.scenarios`) composes them into multi-phase runs.
+"""
 
 from repro.workloads.generators import (
     ClientPlan,

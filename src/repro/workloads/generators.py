@@ -100,7 +100,12 @@ class WorkloadReport:
 class WorkloadRunner:
     """Executes client plans concurrently on a :class:`SimCluster`."""
 
-    def __init__(self, cluster, plans: Sequence[ClientPlan]):
+    def __init__(
+        self,
+        cluster,
+        plans: Sequence[ClientPlan],
+        values: Optional[UniqueValues] = None,
+    ):
         self._cluster = cluster
         self._plans = list(plans)
         for plan in self._plans:
@@ -109,9 +114,16 @@ class WorkloadRunner:
         self._report = WorkloadReport()
         self._remaining = {plan.pid: list(plan.kinds) for plan in self._plans}
         self._active = 0
-        self._values = UniqueValues()
+        # ``values`` may be shared across runners (e.g. the phases of a
+        # scenario) so written values stay unique over the whole run.
+        self._values = values if values is not None else UniqueValues()
 
-    def run(self, timeout: float = 60.0, poll_every: int = 1) -> WorkloadReport:
+    def run(
+        self,
+        timeout: float = 60.0,
+        poll_every: int = 1,
+        max_events: int = 1_000_000,
+    ) -> WorkloadReport:
         """Drive all plans to completion (or until ``timeout`` of virtual time).
 
         ``poll_every`` amortizes the drain predicate over a stride of
@@ -120,14 +132,16 @@ class WorkloadRunner:
         events (e.g. timers) may execute after the last client settles
         -- harmless for the report, but it moves the stop position, so
         the default stays 1 for replay-exact runs (the determinism
-        goldens capture the full event sequence).
+        goldens capture the full event sequence).  ``max_events`` caps
+        kernel callbacks; raise it for soak-scale plans.
         """
         self._active = sum(1 for kinds in self._remaining.values() if kinds)
         for plan in self._plans:
             if self._remaining[plan.pid]:
                 self._next_op(plan.pid)
         self._cluster.run_until(
-            lambda: self._active == 0, timeout=timeout, poll_every=poll_every
+            lambda: self._active == 0, timeout=timeout, poll_every=poll_every,
+            max_events=max_events,
         )
         self._report.unissued = sum(len(k) for k in self._remaining.values())
         return self._report

@@ -21,7 +21,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.common.errors import ConfigurationError
 from repro.history.events import READ, WRITE
@@ -104,33 +104,62 @@ class KVWorkloadRunner:
         self,
         kv,
         num_clients: int = 16,
-        operations_per_client: int = 20,
+        operations_per_client: Union[int, Sequence[int]] = 20,
         read_fraction: float = 0.5,
         keys: Optional[ZipfianKeys] = None,
         seed: int = 0,
+        pids: Optional[List[int]] = None,
+        values: Optional[UniqueValues] = None,
     ):
         if num_clients < 1:
             raise ConfigurationError("num_clients must be >= 1")
-        if operations_per_client < 1:
-            raise ConfigurationError("operations_per_client must be >= 1")
+        # A per-client sequence lets callers hit an exact total budget
+        # (the scenario runner distributes a phase's share this way);
+        # a plain int keeps the uniform classic behavior.
+        if isinstance(operations_per_client, int):
+            if operations_per_client < 1:
+                raise ConfigurationError("operations_per_client must be >= 1")
+            per_client = [operations_per_client] * num_clients
+        else:
+            per_client = list(operations_per_client)
+            if len(per_client) != num_clients:
+                raise ConfigurationError(
+                    "operations_per_client sequence must have one entry "
+                    "per client"
+                )
+            if any(count < 0 for count in per_client) or sum(per_client) < 1:
+                raise ConfigurationError(
+                    "per-client operation counts must be >= 0 and sum >= 1"
+                )
         if not 0.0 <= read_fraction <= 1.0:
             raise ConfigurationError("read_fraction must be in [0, 1]")
         self._kv = kv
         self._num_clients = num_clients
-        self._ops_per_client = operations_per_client
         self._read_fraction = read_fraction
         self._keys = keys if keys is not None else ZipfianKeys(seed=seed)
         self._rng = random.Random(seed)
-        self._values = UniqueValues()
+        # ``values`` may be shared across runners (scenario phases) so
+        # written values stay unique over the whole run.
+        self._values = values if values is not None else UniqueValues()
         self._report = KVWorkloadReport()
-        self._remaining = [operations_per_client] * num_clients
+        self._remaining = per_client
         self._active = 0
+        # Replicas clients are pinned to; restricting this keeps a run
+        # live when some replicas never recover (crash-stop scenarios).
+        if pids is None:
+            pids = list(range(kv.config.num_processes))
+        elif not pids or any(
+            not 0 <= pid < kv.config.num_processes for pid in pids
+        ):
+            raise ConfigurationError("pids must be a non-empty list of replica ids")
+        self._pids = list(pids)
 
     def run(
         self,
         timeout: float = 120.0,
         preload: bool = True,
         poll_every: int = DRAIN_POLL_STRIDE,
+        max_events: int = 1_000_000,
     ) -> KVWorkloadReport:
         """Drive every client to completion (or until ``timeout``).
 
@@ -150,13 +179,13 @@ class KVWorkloadRunner:
             self._kv.preload(self._keys.keys, timeout=timeout)
         started_at = self._kv.now
         self._active = self._num_clients
-        num_processes = self._kv.config.num_processes
         for client in range(self._num_clients):
             # Client affinity: client i talks to replica i mod N, like
             # a connection pinned to its nearest server.
-            self._next_op(client, client % num_processes)
+            self._next_op(client, self._pids[client % len(self._pids)])
         self._kv.run_until(
-            lambda: self._active == 0, timeout=timeout, poll_every=poll_every
+            lambda: self._active == 0, timeout=timeout, poll_every=poll_every,
+            max_events=max_events,
         )
         self._report.unissued = sum(self._remaining)
         self._report.duration = self._kv.now - started_at

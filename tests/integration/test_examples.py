@@ -19,7 +19,7 @@ def examples_on_path(monkeypatch):
     monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
     yield
     for name in ("quickstart", "crash_recovery_kv", "atomicity_semantics",
-                 "live_udp_cluster"):
+                 "live_udp_cluster", "fault_scenarios"):
         sys.modules.pop(name, None)
 
 
@@ -43,6 +43,17 @@ def test_atomicity_semantics_runs(capsys):
     out = capsys.readouterr().out
     assert "H'_1" in out
     assert "transient  atomicity: True" in out
+
+
+def test_fault_scenarios_runs(capsys):
+    module = importlib.import_module("fault_scenarios")
+    module.OPS = 100  # keep the three scenario runs quick in CI
+    module.main()
+    out = capsys.readouterr().out
+    assert "rolling-crash" in out
+    assert "fingerprints identical: True" in out
+    # Two summaries are printed (the library run and the custom one).
+    assert out.count("PASS") == 2
 
 
 def test_live_udp_cluster_runs(capsys):

@@ -1,0 +1,47 @@
+"""Unit: the documentation stays link-clean and pydoc-renderable.
+
+Runs the same gates as the CI docs job (``tools/check_docs.py``):
+every relative link in README/docs resolves, and every public module
+under ``src/repro`` imports cleanly with a module docstring.  Keeping
+this in the tier-1 suite means a broken doc link fails locally, not
+just on the docs job.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_intra_repo_links_resolve():
+    checker = load_checker()
+    assert checker.check_links() == []
+
+
+def test_public_modules_import_with_docstrings():
+    checker = load_checker()
+    assert checker.check_modules() == []
+
+
+def test_docs_tree_is_complete():
+    docs = REPO_ROOT / "docs"
+    for name in (
+        "architecture.md", "protocols.md", "checking.md",
+        "benchmarks.md", "scenarios.md",
+    ):
+        assert (docs / name).is_file(), f"docs/{name} is missing"
+
+
+def test_checker_cli_exit_status():
+    checker = load_checker()
+    assert checker.main() == 0

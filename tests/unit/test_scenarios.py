@@ -1,0 +1,299 @@
+"""Unit: scenario specs, the fault-schedule primitives, the registry.
+
+Each fault primitive gets a focused test arming it on a small cluster
+and observing exactly the state change it declares -- crashes and
+recoveries at their instants, links blocked then healed, bursts
+dropping deterministically, slow links stretching deliveries, triggers
+firing synchronously on their trace event.
+"""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.common.errors import ConfigurationError
+from repro.scenarios import (
+    SCENARIOS,
+    CrashAt,
+    CrashOnTrace,
+    Downtime,
+    LossBurst,
+    PartitionWindow,
+    RollingRestarts,
+    Scenario,
+    SlowLinks,
+    WorkloadPhase,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.faults import victims_of
+from repro.scenarios.spec import STORE_KV
+
+
+def make_cluster(num_processes=3, protocol="persistent", **kwargs):
+    cluster = SimCluster(
+        protocol=protocol, num_processes=num_processes, seed=9, **kwargs
+    )
+    cluster.start()
+    return cluster
+
+
+# -- fault primitives --------------------------------------------------------
+
+
+def test_downtime_crashes_then_recovers():
+    cluster = make_cluster()
+    Downtime(pid=1, start=1e-3, end=4e-3).arm(cluster)
+    cluster.run(duration=2e-3)
+    assert cluster.node(1).crashed
+    cluster.run(duration=4e-3)
+    assert not cluster.node(1).crashed
+
+
+def test_downtime_validates_window():
+    with pytest.raises(ConfigurationError):
+        Downtime(pid=0, start=2.0, end=1.0)
+
+
+def test_crash_at_is_permanent():
+    cluster = make_cluster()
+    CrashAt(pid=2, time=1e-3).arm(cluster)
+    cluster.run(duration=10e-3)
+    assert cluster.node(2).crashed
+
+
+def test_rolling_restarts_staggers_victims():
+    cluster = make_cluster()
+    fault = RollingRestarts(start=1e-3, interval=4e-3, downtime=2e-3)
+    fault.arm(cluster)
+    crashed_during_wave = set()
+    # Sample between actions: at most one process is down at a time
+    # because interval > downtime.
+    for _ in range(40):
+        cluster.run(duration=0.5e-3)
+        down = set(cluster.crashed_processes())
+        assert len(down) <= 1
+        crashed_during_wave |= down
+    assert crashed_during_wave == {0, 1, 2}
+    assert not cluster.crashed_processes()
+
+
+def test_rolling_restarts_victims_sentinel():
+    assert victims_of([RollingRestarts()], 3) == {0, 1, 2}
+    assert victims_of([RollingRestarts(pids=(1,))], 3) == {1}
+    assert victims_of([Downtime(pid=2, start=0, end=1)], 5) == {2}
+    assert victims_of([PartitionWindow((0,), (1,), 0.0, 1.0)], 3) == set()
+
+
+def test_permanent_victims():
+    recovered = [
+        Downtime(pid=1, start=0, end=1),
+        RollingRestarts(),
+        CrashOnTrace(kind="send", pid=2, recover_after=1e-3),
+    ]
+    assert victims_of(recovered, 3, permanent_only=True) == set()
+    doomed = [CrashAt(pid=0, time=1e-3), CrashOnTrace(kind="send", pid=2)]
+    assert victims_of(doomed, 3, permanent_only=True) == {0, 2}
+
+
+def test_partition_window_blocks_then_heals():
+    cluster = make_cluster()
+    PartitionWindow(group_a=(2,), group_b=(0, 1), start=1e-3, end=3e-3).arm(cluster)
+    cluster.run(duration=2e-3)
+    assert cluster.network.is_blocked(2, 0)
+    assert cluster.network.is_blocked(0, 2)
+    assert not cluster.network.is_blocked(0, 1)
+    cluster.run(duration=2e-3)
+    assert not cluster.network.is_blocked(2, 0)
+    assert not cluster.network.is_blocked(0, 2)
+
+
+def test_overlapping_partition_windows_compose():
+    cluster = make_cluster()
+    PartitionWindow(group_a=(2,), group_b=(0, 1), start=1e-3, end=5e-3).arm(cluster)
+    PartitionWindow(group_a=(2,), group_b=(0, 1), start=3e-3, end=8e-3).arm(cluster)
+    cluster.run(duration=6e-3)  # first window healed, second still open
+    assert cluster.network.is_blocked(2, 0)
+    cluster.run(duration=3e-3)  # second window healed too
+    assert not cluster.network.is_blocked(2, 0)
+
+
+def test_overlapping_slow_link_windows_compose():
+    cluster = make_cluster()
+    SlowLinks(start=1e-3, end=5e-3, extra_delay=1e-3).arm(cluster)
+    SlowLinks(start=3e-3, end=8e-3, extra_delay=2e-3).arm(cluster)
+    cluster.run(duration=4e-3)  # both windows open: penalties add
+    assert cluster.network.link_penalty(0, 1) == pytest.approx(3e-3)
+    cluster.run(duration=2e-3)  # first restored, second still open
+    assert cluster.network.link_penalty(0, 1) == pytest.approx(2e-3)
+    cluster.run(duration=4e-3)
+    assert cluster.network.link_penalty(0, 1) == 0.0
+
+
+def test_partition_window_validates_groups():
+    with pytest.raises(ConfigurationError):
+        PartitionWindow(group_a=(0,), group_b=(0, 1), start=0.0, end=1.0)
+    with pytest.raises(ConfigurationError):
+        PartitionWindow(group_a=(), group_b=(1,), start=0.0, end=1.0)
+
+
+def test_loss_burst_drops_deterministically():
+    def dropped_after_burst(seed):
+        cluster = make_cluster()
+        LossBurst(start=0.0, end=5e-3, probability=0.5, seed=seed).arm(cluster)
+        cluster.write_sync(0, "v")
+        cluster.run(duration=10e-3)
+        return cluster.network.messages_dropped
+
+    assert dropped_after_burst(3) > 0
+    assert dropped_after_burst(3) == dropped_after_burst(3)
+
+
+def test_loss_burst_filter_is_removed_after_window():
+    cluster = make_cluster()
+    LossBurst(start=0.0, end=2e-3, probability=1.0, seed=1).arm(cluster)
+    handle = cluster.write(0, "survivor")
+    cluster.run(duration=1e-3)
+    before = cluster.network.messages_dropped
+    assert before > 0  # the write's rounds were eaten inside the window
+    assert not handle.settled
+    # Once the window closes the filter is removed: retransmission
+    # carries the write through and nothing further drops.
+    cluster.run_until(lambda: handle.settled, timeout=2.0)
+    assert handle.done
+    assert cluster.network.messages_dropped == before
+
+
+def test_slow_links_applies_and_clears_penalty():
+    cluster = make_cluster()
+    SlowLinks(start=1e-3, end=4e-3, extra_delay=2e-3).arm(cluster)
+    cluster.run(duration=2e-3)
+    assert cluster.network.link_penalty(0, 1) == 2e-3
+    assert cluster.network.link_penalty(1, 0) == 2e-3
+    cluster.run(duration=3e-3)
+    assert cluster.network.link_penalty(0, 1) == 0.0
+
+
+def test_slow_links_stretches_write_latency():
+    def write_latency(arm):
+        cluster = make_cluster()
+        if arm:
+            SlowLinks(start=0.0, end=1.0, extra_delay=1e-3).arm(cluster)
+            cluster.run(duration=1e-4)  # let the window open
+        handle = cluster.write_sync(0, "v")
+        return handle.latency
+
+    assert write_latency(True) > write_latency(False) + 1e-3
+
+
+def test_network_slow_link_validation():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        cluster.network.slow_link(0, 1, -1.0)
+    cluster.network.slow_link(0, 1, 5e-4)
+    assert cluster.network.link_penalty(0, 1) == 5e-4
+    cluster.network.reset_link_speeds()
+    assert cluster.network.link_penalty(0, 1) == 0.0
+
+
+def test_unslow_link_leaves_no_float_residue():
+    # Mixed-magnitude add/remove pairs must return the link to exactly
+    # zero (float dust below a picosecond is snapped away).
+    cluster = make_cluster()
+    cluster.network.slow_link(0, 1, 0.1)
+    cluster.network.slow_link(0, 1, 0.2)
+    cluster.network.unslow_link(0, 1, 0.1)
+    cluster.network.unslow_link(0, 1, 0.2)
+    assert cluster.network.link_penalty(0, 1) == 0.0
+
+
+def test_crash_on_trace_fires_synchronously_and_recovers():
+    cluster = make_cluster()
+    CrashOnTrace(
+        kind="store_begin", pid=0, source_pid=0, recover_after=2e-3
+    ).arm(cluster)
+    # The write's first log at p0 triggers the crash, aborting the op.
+    handle = cluster.write(0, "doomed")
+    cluster.run_until(lambda: handle.settled, timeout=1.0)
+    assert handle.aborted
+    assert cluster.node(0).crashed
+    cluster.run(duration=5e-3)
+    assert not cluster.node(0).crashed
+
+
+def test_crash_on_trace_validates():
+    with pytest.raises(ConfigurationError):
+        CrashOnTrace(kind="send", pid=0, count=0)
+    with pytest.raises(ConfigurationError):
+        CrashOnTrace(kind="send", pid=0, recover_after=0.0)
+
+
+# -- spec --------------------------------------------------------------------
+
+
+def test_split_ops_is_exact_and_weighted():
+    scenario = Scenario(
+        name="t",
+        description="t",
+        phases=(
+            WorkloadPhase(name="a", weight=1.0),
+            WorkloadPhase(name="b", weight=2.0),
+            WorkloadPhase(name="c", weight=1.0),
+        ),
+    )
+    shares = scenario.split_ops(100)
+    assert sum(shares) == 100
+    assert shares[1] > shares[0]
+    assert all(share >= 1 for share in shares)
+    # Tiny budgets still give every phase work.
+    assert sum(scenario.split_ops(3)) == 3
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        Scenario(name="x", description="x", phases=())
+    with pytest.raises(ConfigurationError):
+        Scenario(
+            name="x", description="x", store="blob",
+            phases=(WorkloadPhase(name="p"),),
+        )
+    with pytest.raises(ConfigurationError):
+        Scenario(
+            name="x", description="x", verify="sometimes",
+            phases=(WorkloadPhase(name="p"),),
+        )
+    with pytest.raises(ConfigurationError):
+        WorkloadPhase(name="p", read_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        WorkloadPhase(name="p", weight=0.0)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_library_has_the_advertised_scenarios():
+    names = {scenario.name for scenario in list_scenarios()}
+    assert len(names) >= 8
+    for required in (
+        "steady-state",
+        "rolling-crash",
+        "crash-during-write",
+        "partition-heal",
+        "recovery-storm",
+        "zipfian-contention",
+        "trace-capture",
+        "soak-100k",
+    ):
+        assert required in names
+    assert get_scenario("soak-100k").default_ops == 100_000
+    kv_scenarios = [s for s in list_scenarios() if s.store == STORE_KV]
+    assert kv_scenarios, "the library should cover the KV store"
+
+
+def test_get_scenario_unknown_name():
+    with pytest.raises(ConfigurationError, match="unknown scenario"):
+        get_scenario("does-not-exist")
+
+
+def test_registry_names_match_keys():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name

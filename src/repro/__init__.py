@@ -11,6 +11,10 @@ Emulations of Shared Memory in a Crash-Recovery Model* (ICDCS 2004):
 * black-box and white-box checkers for the paper's two consistency
   criteria, and engine-level measurement of the paper's cost metric
   (causal logs per operation);
+* one unified client API (:mod:`repro.api`): ``open_cluster`` returns
+  a backend-agnostic ``Cluster`` -- sessions, fault verbs, clock
+  control and a merged ``check()`` verdict -- over the simulator, the
+  KV store, or the live runtime, with per-backend capability flags;
 * a sharded key-value store (:mod:`repro.kv`) multiplexing many
   register instances over one cluster, with batching and per-key
   atomicity checking;
@@ -20,20 +24,21 @@ Emulations of Shared Memory in a Crash-Recovery Model* (ICDCS 2004):
   incremental verification (``python -m repro soak --list``);
 * experiment harnesses regenerating every figure of the evaluation.
 
-Quickstart::
+Quickstart -- one front door over every backend (:mod:`repro.api`)::
 
-    from repro import SimCluster
+    from repro import open_cluster
 
-    cluster = SimCluster(protocol="persistent", num_processes=5)
-    cluster.start()
-    cluster.write_sync(pid=0, value="hello")
-    assert cluster.read_sync(pid=1) == "hello"
-    cluster.crash(0)
-    cluster.recover(0, wait=True)
-    assert cluster.read_sync(pid=0) == "hello"
-    assert cluster.check_atomicity().ok
+    with open_cluster(backend="sim", protocol="persistent", seed=7) as c:
+        writer, reader = c.session(0), c.session(1)
+        writer.write_sync("hello")
+        assert reader.read_sync() == "hello"
+        c.crash(0)
+        c.recover(0)
+        assert c.check().ok
 
-Key-value quickstart::
+Swap ``backend="sim"`` for ``"kv"`` (the sharded store) or ``"live"``
+(real UDP + fsync) and the same program runs unchanged.  The low-level
+front-ends stay available::
 
     from repro import KVCluster
 
@@ -44,6 +49,15 @@ Key-value quickstart::
     assert kv.check_atomicity().ok
 """
 
+from repro.api import (
+    Cluster,
+    OpHandle,
+    Session,
+    Verdict,
+    as_cluster,
+    open_cluster,
+)
+
 from repro.cluster import SimCluster
 from repro.common.config import (
     ClusterConfig,
@@ -53,6 +67,7 @@ from repro.common.config import (
     PAPER_LAMBDA,
 )
 from repro.common.errors import (
+    CapabilityError,
     ConfigurationError,
     NotRecoveredError,
     OperationAborted,
@@ -94,6 +109,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AtomicityVerdict",
+    "CapabilityError",
+    "Cluster",
     "ClusterConfig",
     "ConfigurationError",
     "ConsistentHashShardMap",
@@ -104,6 +121,7 @@ __all__ = [
     "KVCluster",
     "NetworkConfig",
     "NotRecoveredError",
+    "OpHandle",
     "OperationAborted",
     "PAPER_DELTA",
     "PAPER_LAMBDA",
@@ -116,6 +134,7 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "ScenarioResult",
+    "Session",
     "ShardMap",
     "SimCluster",
     "SizedValue",
@@ -123,6 +142,8 @@ __all__ = [
     "StorageError",
     "Tag",
     "TransportError",
+    "Verdict",
+    "as_cluster",
     "bottom_tag",
     "check_persistent_atomicity",
     "check_transient_atomicity",
@@ -130,6 +151,7 @@ __all__ = [
     "get_protocol_class",
     "get_scenario",
     "list_scenarios",
+    "open_cluster",
     "partition_history",
     "run_scenario",
     "__version__",

@@ -1,0 +1,79 @@
+"""One front door: the unified client API over every backend.
+
+The repository grew three front-ends -- the deterministic simulator
+(:class:`~repro.cluster.SimCluster`), the sharded KV store
+(:class:`~repro.kv.store.KVCluster`) and the asyncio/UDP runtime
+(:class:`~repro.runtime.cluster.LiveCluster`) -- each with its own
+verbs and handle types.  :mod:`repro.api` puts one vocabulary in front
+of all of them::
+
+    from repro.api import open_cluster
+
+    with open_cluster(backend="sim", protocol="persistent", seed=7) as c:
+        writer, reader = c.session(0), c.session(1)
+        writer.write_sync("hello")
+        assert reader.read_sync() == "hello"
+        c.crash(0)
+        c.recover(0)
+        assert c.check(criterion="atomic").ok
+
+Swap ``backend="sim"`` for ``"kv"`` or ``"live"`` and the same program
+runs against the sharded store or real UDP sockets.  Differences are
+declared through :attr:`Cluster.capabilities` -- ``virtual_time``,
+``sharding``, ``crash_injection``, ``trace`` -- and anything a backend
+cannot do raises :class:`~repro.common.errors.CapabilityError` instead
+of silently degrading.  See ``docs/api.md`` for the full guide,
+capability matrix and old-call -> new-call migration table.
+
+The low-level constructors remain supported (the adapters here are
+thin and event-free); use them when a tool needs backend-specific
+surface, and :func:`as_cluster` to lift an existing low-level cluster
+into the façade.
+"""
+
+from repro.api.base import (
+    BACKENDS,
+    BACKEND_NAMES,
+    Cluster,
+    Session,
+    as_cluster,
+    open_cluster,
+)
+from repro.api.kv import DEFAULT_KEY, KVBackend
+from repro.api.live import LiveBackend
+from repro.api.sim import SimBackend
+from repro.api.types import (
+    ALL_CAPABILITIES,
+    CHECK_CRITERIA,
+    CHECK_METHODS,
+    CRASH_INJECTION,
+    SHARDING,
+    TRACE,
+    VIRTUAL_TIME,
+    ClusterStats,
+    OpHandle,
+    Verdict,
+)
+
+__all__ = [
+    "ALL_CAPABILITIES",
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "CHECK_CRITERIA",
+    "CHECK_METHODS",
+    "CRASH_INJECTION",
+    "Cluster",
+    "ClusterStats",
+    "DEFAULT_KEY",
+    "KVBackend",
+    "LiveBackend",
+    "OpHandle",
+    "SHARDING",
+    "Session",
+    "SimBackend",
+    "TRACE",
+    "VIRTUAL_TIME",
+    "Verdict",
+    "as_cluster",
+    "open_cluster",
+]

@@ -1,0 +1,410 @@
+"""The façade contract: ``Cluster`` and ``Session``, plus ``open_cluster``.
+
+One front door for every backend.  A :class:`Cluster` is a context
+manager over a running deployment -- the deterministic simulator
+(``backend="sim"``), the sharded KV store on the simulator
+(``backend="kv"``) or the asyncio/UDP runtime (``backend="live"``) --
+and exposes one vocabulary everywhere::
+
+    from repro.api import open_cluster
+
+    with open_cluster(backend="sim", protocol="persistent") as cluster:
+        s0, s1 = cluster.session(0), cluster.session(1)
+        s0.write_sync("hello")
+        assert s1.read_sync() == "hello"
+        cluster.crash(0)
+        cluster.recover(0)
+        assert cluster.check().ok
+
+The same program runs unmodified against any backend; what differs is
+declared, not special-cased: each backend carries a ``capabilities``
+frozenset (:mod:`repro.api.types`), and anything outside it --
+virtual-time clock control on live, partitions over real sockets --
+raises :class:`~repro.common.errors.CapabilityError` with the reason.
+
+The pre-existing constructors (:class:`~repro.cluster.SimCluster`,
+:class:`~repro.kv.store.KVCluster`,
+:class:`~repro.runtime.cluster.LiveCluster`) remain the low-level
+layer; the backend adapters here wrap them without adding any events
+or randomness, so seeded runs behave byte-identically through either
+surface.  :func:`as_cluster` wraps a low-level cluster in its adapter
+(and passes façade clusters through), which is how the workload
+runners accept both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.api.types import (
+    CHECK_CRITERIA,
+    CHECK_METHODS,
+    ClusterStats,
+    OpHandle,
+    Verdict,
+)
+from repro.common.errors import CapabilityError, ConfigurationError
+from repro.history.history import History
+
+#: Names ``open_cluster`` accepts, mapped in :data:`BACKENDS` below.
+BACKEND_NAMES = ("sim", "kv", "live")
+
+#: Default virtual/wall-clock budget for synchronous operations.
+DEFAULT_SYNC_TIMEOUT = 5.0
+
+
+class Session:
+    """A client's handle on one process of a cluster.
+
+    Sessions issue operations; the cluster routes, settles and checks
+    them.  ``write``/``read`` return immediately with an
+    :class:`~repro.api.types.OpHandle`; the ``*_sync`` variants drive
+    the backend (virtual clock or blocking call) until the operation
+    settles.  ``key`` addresses a named register instance everywhere;
+    ``None`` is the backend's default target (the anonymous register,
+    or the KV backend's default key).
+    """
+
+    def __init__(self, cluster: "Cluster", pid: Optional[int]):
+        self.cluster = cluster
+        self.pid = pid
+
+    @property
+    def ready(self) -> bool:
+        """Whether this session's process can accept an operation now.
+
+        ``False`` while the process is crashed, still recovering, or
+        (single-register backends) busy with an outstanding operation.
+        Backends that queue client-side (the KV store's shard
+        pipelines) are always ready.
+        """
+        raise NotImplementedError
+
+    def write(self, value: Any, key: Optional[str] = None) -> OpHandle:
+        """Submit a write; returns its handle immediately."""
+        raise NotImplementedError
+
+    def read(self, key: Optional[str] = None) -> OpHandle:
+        """Submit a read; returns its handle immediately."""
+        raise NotImplementedError
+
+    def write_sync(
+        self,
+        value: Any,
+        key: Optional[str] = None,
+        timeout: float = DEFAULT_SYNC_TIMEOUT,
+    ) -> OpHandle:
+        """Write and drive the backend until the write returns.
+
+        Raises :class:`~repro.common.errors.OperationAborted` if the
+        coordinator crashed mid-operation.
+        """
+        handle = self.write(value, key=key)
+        return self.cluster.wait(handle, timeout=timeout, expect_done=True)
+
+    def read_sync(
+        self, key: Optional[str] = None, timeout: float = DEFAULT_SYNC_TIMEOUT
+    ) -> Any:
+        """Read and drive the backend until the value is returned."""
+        handle = self.read(key=key)
+        self.cluster.wait(handle, timeout=timeout, expect_done=True)
+        return handle.result
+
+    def __repr__(self) -> str:
+        return f"Session(pid={self.pid}, backend={self.cluster.backend!r})"
+
+
+class Cluster:
+    """Backend-agnostic handle on one running cluster.
+
+    Subclasses adapt one concrete backend; callers program against
+    this surface and branch -- when they must -- on
+    :attr:`capabilities`, never on the adapter type.
+    """
+
+    #: Backend name ("sim", "kv", "live").
+    backend: str = "?"
+    #: What this backend can do; see :mod:`repro.api.types`.
+    capabilities: FrozenSet[str] = frozenset()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Cluster":
+        """Boot every process; returns ``self`` for chaining."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the cluster down (a no-op on simulated backends)."""
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def protocol(self) -> str:
+        """Name of the register protocol the cluster runs."""
+        raise NotImplementedError
+
+    @property
+    def num_processes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The deterministic seed, or ``None`` (live backend)."""
+        return None
+
+    def session(self, pid: Optional[int] = None) -> Session:
+        """A session bound to process ``pid``.
+
+        ``None`` asks the backend to route operations itself -- only
+        backends with client-side routing (the KV store's round-robin)
+        support it; the others require an explicit pid.
+        """
+        raise NotImplementedError
+
+    # -- keys --------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Named register instances provisioned so far, sorted."""
+        raise NotImplementedError
+
+    def ensure_key(self, key: str, timeout: float = 10.0) -> None:
+        """Provision register instance ``key`` and wait until ready."""
+        raise NotImplementedError
+
+    def preload(self, keys: Sequence[str], timeout: float = 10.0) -> None:
+        """Provision many keys up front (one readiness barrier)."""
+        for key in keys:
+            self.ensure_key(key, timeout=timeout)
+
+    # -- fault verbs -------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        """Crash process ``pid`` immediately."""
+        raise NotImplementedError
+
+    def recover(self, pid: int, wait: bool = True, timeout: float = 5.0) -> None:
+        """Restart process ``pid``; by default wait until it is ready."""
+        raise NotImplementedError
+
+    def partition(self, group_a: Sequence[int], group_b: Sequence[int]) -> None:
+        """Block every link between the two groups (both directions)."""
+        raise self._unsupported("partition", "network partitions")
+
+    def heal(self) -> None:
+        """Unblock every link a :meth:`partition` blocked."""
+        raise self._unsupported("heal", "network partitions")
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The virtual clock, in seconds (``virtual_time`` backends).
+
+        The live backend raises
+        :class:`~repro.common.errors.CapabilityError` -- real time
+        passes on its own; its loop clock is readable via
+        ``stats().clock``.
+        """
+        raise NotImplementedError
+
+    def run(self, duration: Optional[float] = None, max_events: int = 1_000_000) -> None:
+        """Advance the virtual clock by ``duration`` (or to quiescence)."""
+        raise self._unsupported("run", "virtual-time clock control")
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        poll_every: int = 1,
+        max_events: int = 1_000_000,
+    ) -> bool:
+        """Advance the virtual clock until ``predicate()`` holds."""
+        raise self._unsupported("run_until", "virtual-time clock control")
+
+    def defer(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` on the backend's clock.
+
+        The hook closed-loop drivers chain their next invocation on;
+        virtual-time backends put it on the kernel, live backends on
+        the event loop.
+        """
+        raise NotImplementedError
+
+    def wait(
+        self,
+        handle: OpHandle,
+        timeout: float = DEFAULT_SYNC_TIMEOUT,
+        expect_done: bool = False,
+    ) -> OpHandle:
+        """Block (or drive the virtual clock) until ``handle`` settles.
+
+        With ``expect_done`` an aborted operation raises
+        :class:`~repro.common.errors.OperationAborted` -- the ``*_sync``
+        contract.
+        """
+        raise NotImplementedError
+
+    def wait_all(
+        self, handles: Sequence[OpHandle], timeout: float = DEFAULT_SYNC_TIMEOUT
+    ) -> List[OpHandle]:
+        """Wait until every handle settles."""
+        for handle in handles:
+            self.wait(handle, timeout=timeout)
+        return list(handles)
+
+    # -- verification ------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        """The recorded invocation/reply/crash/recovery history."""
+        raise NotImplementedError
+
+    def check(self, criterion: str = "atomic", method: str = "auto") -> Verdict:
+        """Check the recorded history; returns the merged verdict.
+
+        ``criterion`` is one of :data:`~repro.api.types.CHECK_CRITERIA`
+        ("atomic" resolves to what the running protocol promises);
+        ``method`` one of :data:`~repro.api.types.CHECK_METHODS`.  The
+        KV backend checks each key's projection and reports per key;
+        the single-register backends judge the anonymous register's
+        history.
+        """
+        raise NotImplementedError
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        """Run-wide counters (zeros where the backend has none)."""
+        raise NotImplementedError
+
+    def transcript(self) -> Optional[List[str]]:
+        """Captured trace events as strings, or ``None`` (no capture)."""
+        return None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _unsupported(self, verb: str, feature: str) -> CapabilityError:
+        return CapabilityError(
+            f"the {self.backend!r} backend does not support {feature} "
+            f"({verb}); check Cluster.capabilities before calling it"
+        )
+
+    def _resolve_criterion(self, criterion: str) -> str:
+        """Map the requested criterion to the one actually checked."""
+        if criterion not in CHECK_CRITERIA:
+            raise ConfigurationError(
+                f"unknown criterion {criterion!r} (expected one of "
+                f"{CHECK_CRITERIA})"
+            )
+        if criterion == "atomic":
+            return "transient" if self.protocol == "transient" else "persistent"
+        return criterion
+
+    #: Reported :attr:`Verdict.method` spellings, normalized back to
+    #: the request tokens so ``check(method=verdict.method)`` works.
+    _METHOD_ALIASES = {"black-box": "blackbox", "white-box": "whitebox"}
+
+    @classmethod
+    def _validate_method(cls, method: str) -> str:
+        method = cls._METHOD_ALIASES.get(method, method)
+        if method not in CHECK_METHODS:
+            raise ConfigurationError(
+                f"unknown checker method {method!r} (expected one of "
+                f"{CHECK_METHODS})"
+            )
+        return method
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(backend={self.backend!r}, "
+            f"protocol={self.protocol!r}, processes={self.num_processes})"
+        )
+
+
+def open_cluster(
+    backend: str = "sim",
+    protocol: str = "persistent",
+    num_processes: Optional[int] = None,
+    seed: Optional[int] = None,
+    **options: Any,
+) -> Cluster:
+    """Open a cluster behind the unified façade.
+
+    ``backend`` selects the deployment: ``"sim"`` (the deterministic
+    single-register simulator), ``"kv"`` (the sharded key-value store
+    on the simulator) or ``"live"`` (asyncio/UDP nodes on localhost).
+    ``options`` are forwarded to the backend's low-level constructor
+    (e.g. ``num_shards``/``batch_window`` for kv, ``storage_root`` for
+    live, ``capture_trace``/``config`` for the simulated ones).
+
+    The returned :class:`Cluster` is not yet started: use it as a
+    context manager, or call :meth:`Cluster.start` explicitly.
+    """
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {backend!r} (expected one of {BACKEND_NAMES})"
+        ) from None
+    return factory(
+        protocol=protocol, num_processes=num_processes, seed=seed, **options
+    )
+
+
+def as_cluster(cluster: Any) -> Cluster:
+    """Wrap a low-level cluster in its façade adapter.
+
+    Façade clusters pass through; :class:`~repro.cluster.SimCluster`,
+    :class:`~repro.kv.store.KVCluster` and
+    :class:`~repro.runtime.cluster.LiveCluster` instances are wrapped
+    (sharing state with the original -- no copy, no reset).  Anything
+    else raises :class:`~repro.common.errors.ConfigurationError`.
+    """
+    if isinstance(cluster, Cluster):
+        return cluster
+    from repro.api.kv import KVBackend
+    from repro.api.live import LiveBackend
+    from repro.api.sim import SimBackend
+    from repro.cluster import SimCluster
+    from repro.kv.store import KVCluster
+    from repro.runtime.cluster import LiveCluster
+
+    if isinstance(cluster, SimCluster):
+        return SimBackend(existing=cluster)
+    if isinstance(cluster, KVCluster):
+        return KVBackend(existing=cluster)
+    if isinstance(cluster, LiveCluster):
+        return LiveBackend(existing=cluster)
+    raise ConfigurationError(
+        f"cannot adapt {type(cluster).__name__} to the repro.api facade"
+    )
+
+
+def _backends() -> Dict[str, Callable[..., Cluster]]:
+    from repro.api.kv import KVBackend
+    from repro.api.live import LiveBackend
+    from repro.api.sim import SimBackend
+
+    return {"sim": SimBackend, "kv": KVBackend, "live": LiveBackend}
+
+
+class _BackendRegistry(dict):
+    """Lazy backend table: resolves adapters on first use."""
+
+    def __missing__(self, name: str) -> Callable[..., Cluster]:
+        table = _backends()
+        self.update(table)
+        if name not in table:
+            raise KeyError(name)
+        return table[name]
+
+
+#: backend name -> adapter factory, resolved lazily to avoid import
+#: cycles (the adapters import the low-level clusters).
+BACKENDS: Dict[str, Callable[..., Cluster]] = _BackendRegistry()

@@ -1,0 +1,350 @@
+"""The ``"sim"`` backend: the deterministic simulator behind the façade.
+
+A thin adapter over :class:`~repro.cluster.SimCluster` -- no extra
+kernel events, no extra randomness, so a seeded run behaves
+byte-identically whether it is driven through the façade or the
+low-level API.  Declares ``virtual_time``, ``crash_injection`` and
+``trace``; sharding lives in the ``"kv"`` backend.
+
+Verification-relevant shared logic (projecting the anonymous register,
+resolving ``method="auto"``, mapping the checker outcomes onto the one
+:class:`~repro.api.types.Verdict` shape) is module-level so the KV and
+live adapters reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.api.base import Cluster, Session
+from repro.api.types import (
+    CRASH_INJECTION,
+    TRACE,
+    VIRTUAL_TIME,
+    ClusterStats,
+    OpHandle,
+    Verdict,
+)
+from repro.common.errors import ConfigurationError, OperationAborted
+from repro.history.checker import MAX_OPERATIONS, check_history
+from repro.history.history import History
+from repro.history.recorder import HistoryRecorder
+from repro.history.register_checker import check_tagged_history
+from repro.history.regular_checker import check_regularity, check_safety
+from repro.sim.node import SimOperation
+
+
+class SimHandle(OpHandle):
+    """Façade handle around a :class:`~repro.sim.node.SimOperation`."""
+
+    __slots__ = ("raw", "kind", "key", "pid")
+
+    def __init__(self, raw: SimOperation):
+        self.raw = raw
+        self.kind = raw.kind
+        self.key = raw.register
+        self.pid = raw.pid
+
+    @property
+    def settled(self) -> bool:
+        return self.raw.settled
+
+    @property
+    def done(self) -> bool:
+        return self.raw.done
+
+    @property
+    def aborted(self) -> bool:
+        return self.raw.aborted
+
+    @property
+    def result(self) -> Any:
+        return self.raw.result
+
+    @property
+    def latency(self) -> Optional[float]:
+        return self.raw.latency
+
+    @property
+    def causal_logs(self) -> Optional[int]:
+        """Causal stable-storage logs the operation cost (sim only)."""
+        return self.raw.causal_logs
+
+    def add_callback(self, callback: Callable[[OpHandle], None]) -> None:
+        self.raw.add_callback(lambda _raw: callback(self))
+
+
+class SimSession(Session):
+    """A session pinned to one simulated process."""
+
+    @property
+    def ready(self) -> bool:
+        node = self.cluster.sim.node(self.pid)
+        if node.crashed or not node.ready:
+            return False
+        protocol = node.protocol
+        return not (protocol.busy if hasattr(protocol, "busy") else False)
+
+    def write(self, value: Any, key: Optional[str] = None) -> SimHandle:
+        return SimHandle(self.cluster.sim.write(self.pid, value, key=key))
+
+    def read(self, key: Optional[str] = None) -> SimHandle:
+        return SimHandle(self.cluster.sim.read(self.pid, key=key))
+
+    def write_sync(self, value, key=None, timeout=5.0):
+        return SimHandle(
+            self.cluster.sim.write_sync(self.pid, value, key=key, timeout=timeout)
+        )
+
+    def read_sync(self, key=None, timeout=5.0):
+        return self.cluster.sim.read_sync(self.pid, key=key, timeout=timeout)
+
+
+class SimBackend(Cluster):
+    """Façade adapter over :class:`~repro.cluster.SimCluster`."""
+
+    backend = "sim"
+    capabilities = frozenset({VIRTUAL_TIME, CRASH_INJECTION, TRACE})
+
+    def __init__(
+        self,
+        protocol: str = "persistent",
+        num_processes: Optional[int] = None,
+        seed: Optional[int] = None,
+        existing: Optional[Any] = None,
+        **options: Any,
+    ):
+        from repro.cluster import SimCluster
+
+        if existing is not None:
+            self.sim = existing
+        else:
+            self.sim = SimCluster(
+                protocol=protocol,
+                num_processes=num_processes,
+                seed=seed,
+                **options,
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SimBackend":
+        self.sim.start()
+        return self
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def protocol(self) -> str:
+        return self.sim.protocol_name
+
+    @property
+    def num_processes(self) -> int:
+        return self.sim.config.num_processes
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.sim.config.seed
+
+    @property
+    def config(self):
+        """The low-level :class:`~repro.common.config.ClusterConfig`."""
+        return self.sim.config
+
+    @property
+    def kernel(self):
+        """The simulation kernel (virtual-time backends only)."""
+        return self.sim.kernel
+
+    @property
+    def recorder(self) -> HistoryRecorder:
+        return self.sim.recorder
+
+    def node(self, pid: int):
+        """The low-level simulated node (prefer :meth:`session`)."""
+        return self.sim.node(pid)
+
+    def session(self, pid: Optional[int] = None) -> SimSession:
+        if pid is None:
+            raise ConfigurationError(
+                "the sim backend needs an explicit pid per session"
+            )
+        self.sim.node(pid)  # validates the range
+        return SimSession(self, pid)
+
+    # -- keys --------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        return self.sim.registers
+
+    def ensure_key(self, key: str, timeout: float = 10.0) -> None:
+        self.sim.ensure_register(key)
+        self.sim.wait_register(key, timeout=timeout)
+
+    def preload(self, keys: Sequence[str], timeout: float = 10.0) -> None:
+        for key in keys:
+            self.sim.ensure_register(key)
+        for key in keys:
+            self.sim.wait_register(key, timeout=timeout)
+
+    # -- fault verbs -------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        self.sim.crash(pid)
+
+    def recover(self, pid: int, wait: bool = True, timeout: float = 5.0) -> None:
+        self.sim.recover(pid, wait=wait, timeout=timeout)
+
+    def partition(self, group_a: Sequence[int], group_b: Sequence[int]) -> None:
+        self.sim.network.partition(set(group_a), set(group_b))
+
+    def heal(self) -> None:
+        self.sim.network.heal_all()
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, duration: Optional[float] = None, max_events: int = 1_000_000) -> None:
+        self.sim.run(duration, max_events=max_events)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        poll_every: int = 1,
+        max_events: int = 1_000_000,
+    ) -> bool:
+        return self.sim.run_until(
+            predicate, timeout=timeout, poll_every=poll_every,
+            max_events=max_events,
+        )
+
+    def defer(self, delay: float, fn: Callable, *args: Any) -> None:
+        self.sim.kernel.schedule(delay, fn, *args)
+
+    def wait(
+        self, handle: OpHandle, timeout: float = 5.0, expect_done: bool = False
+    ) -> OpHandle:
+        self.sim.wait(handle.raw, timeout=timeout)
+        if expect_done and handle.aborted:
+            raise OperationAborted(
+                f"{handle.kind} at p{handle.pid} aborted by a crash"
+            )
+        return handle
+
+    # -- verification ------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        return self.sim.history
+
+    def check(self, criterion: str = "atomic", method: str = "auto") -> Verdict:
+        history = self.sim.history
+        if self.sim.registers:
+            history = self.sim.per_register_histories().get(None, History())
+        return check_one_register(
+            self, history, self.sim.recorder, criterion, method
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        return sim_stats(self.sim)
+
+    def transcript(self) -> Optional[List[str]]:
+        return sim_transcript(self.sim)
+
+
+# -- shared verification/observability helpers -------------------------------
+
+
+def check_one_register(
+    cluster: Cluster,
+    history: History,
+    recorder: HistoryRecorder,
+    criterion: str,
+    method: str,
+    initial_value: Any = None,
+) -> Verdict:
+    """One register's history -> the merged :class:`Verdict`.
+
+    Shared by the sim and live adapters (and per key by the KV one):
+    resolves ``"atomic"`` against the cluster's protocol, picks the
+    checker for ``method="auto"`` (exhaustive black-box search under
+    its cap, the near-linear white-box tag checker beyond it) and maps
+    whichever verdict type the checker produced onto :class:`Verdict`.
+    """
+    resolved = cluster._resolve_criterion(criterion)
+    method = cluster._validate_method(method)
+    if method == "per-key":
+        raise ConfigurationError(
+            "method 'per-key' is the KV backend's checker; single-register "
+            "backends take 'auto', 'blackbox' or 'whitebox'"
+        )
+    if resolved in ("regular", "safe"):
+        checker = check_regularity if resolved == "regular" else check_safety
+        verdict = checker(history, initial_value=initial_value)
+        return Verdict(
+            ok=verdict.ok,
+            criterion=criterion,
+            consistency=verdict.criterion,
+            method="black-box",
+            operations=verdict.operations,
+            reason="; ".join(verdict.violations),
+        )
+    if method == "auto":
+        method = (
+            "blackbox"
+            if len(history.operations()) <= MAX_OPERATIONS
+            else "whitebox"
+        )
+    if method == "blackbox":
+        verdict = check_history(
+            history, criterion=resolved, initial_value=initial_value
+        )
+        return Verdict(
+            ok=verdict.ok,
+            criterion=criterion,
+            consistency=resolved,
+            method="black-box",
+            operations=verdict.operations,
+            reason=verdict.reason,
+            linearization=verdict.linearization,
+            dropped=verdict.dropped,
+        )
+    result = check_tagged_history(
+        history, recorder, criterion=resolved, initial_value=initial_value
+    )
+    return Verdict(
+        ok=result.ok,
+        criterion=criterion,
+        consistency=resolved,
+        method="white-box",
+        operations=result.operations,
+        reason="; ".join(result.violations),
+    )
+
+
+def sim_stats(sim) -> ClusterStats:
+    """Run-wide counters of a :class:`~repro.cluster.SimCluster`."""
+    return ClusterStats(
+        clock=sim.kernel.now,
+        kernel_events=sim.kernel.events_processed,
+        messages_sent=sim.network.messages_sent,
+        messages_dropped=sim.network.messages_dropped,
+        stores_completed=sum(
+            node.storage.stores_completed for node in sim.nodes
+        ),
+        crashes=sum(node.crash_count for node in sim.nodes),
+        recoveries=sim.trace.count("recover"),
+    )
+
+
+def sim_transcript(sim) -> Optional[List[str]]:
+    """Captured trace lines of a simulated run (``None`` off-capture)."""
+    if not sim.trace.capturing:
+        return None
+    return [str(event) for event in sim.trace.events]

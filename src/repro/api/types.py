@@ -1,0 +1,182 @@
+"""Shared vocabulary of the unified façade: capabilities, handles, verdicts.
+
+Everything a :class:`~repro.api.base.Cluster` returns to its callers is
+defined here, backend-free:
+
+* **capability flags** -- each backend declares a frozenset of what it
+  can do (:data:`VIRTUAL_TIME`, :data:`SHARDING`,
+  :data:`CRASH_INJECTION`, :data:`TRACE`), so callers branch on
+  *capability*, never on backend type;
+* :class:`OpHandle` -- the uniform client-side handle of one submitted
+  operation (``settled`` / ``result`` / ``latency`` / ``add_callback``),
+  wrapping whichever native handle the backend produced;
+* :class:`Verdict` -- the one merged verification outcome, absorbing
+  the single-register :class:`~repro.history.checker.AtomicityVerdict`
+  and the KV store's per-key report into a single shape;
+* :class:`ClusterStats` -- the run-wide counters every backend can
+  report (zeros where a counter does not exist, e.g. kernel events on
+  the live backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: The backend runs on a deterministic virtual clock that the caller
+#: drives explicitly (``run`` / ``run_until`` / ``now``).
+VIRTUAL_TIME = "virtual_time"
+#: Keys are spread over shard pipelines with per-shard batching.
+SHARDING = "sharding"
+#: Processes can be crashed and recovered by the caller (fault verbs).
+CRASH_INJECTION = "crash_injection"
+#: The backend can capture a structured event trace of the run.
+TRACE = "trace"
+
+#: Every defined capability flag.
+ALL_CAPABILITIES = frozenset({VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE})
+
+#: Consistency criteria ``Cluster.check`` accepts.  ``"atomic"`` maps
+#: to the criterion the running protocol promises (transient for the
+#: transient algorithm, persistent otherwise); the rest are explicit.
+CHECK_CRITERIA = ("atomic", "persistent", "transient", "regular", "safe")
+
+#: Checker methods ``Cluster.check`` accepts.  ``"auto"`` lets the
+#: backend pick (exhaustive search under its cap, the near-linear
+#: white-box checker beyond it; the KV backend always checks per key).
+#: The hyphenated spellings a :class:`Verdict` reports ("black-box",
+#: "white-box") are accepted as aliases, so a reported method can be
+#: passed straight back in.
+CHECK_METHODS = ("auto", "blackbox", "whitebox", "per-key")
+
+
+class OpHandle:
+    """Uniform client-side handle of one submitted operation.
+
+    Concrete backends subclass this around their native handle
+    (:class:`~repro.sim.node.SimOperation`,
+    :class:`~repro.kv.store.KVOperation`, a live future) but the caller
+    only sees this surface.  ``latency`` is in the backend's own time
+    base: virtual seconds on simulated backends, wall seconds on live.
+    Attributes the native handle exposes beyond this surface (e.g.
+    ``causal_logs`` on the simulator) remain reachable by delegation.
+    """
+
+    #: "read" or "write".
+    kind: str
+    #: The addressed key, or ``None`` for the anonymous register.
+    key: Optional[str]
+    #: The process the operation was submitted at (``None`` when the
+    #: backend routed it, e.g. a KV session without a pinned pid).
+    pid: Optional[int]
+
+    @property
+    def settled(self) -> bool:
+        """Whether the operation finished or aborted."""
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        """Whether the operation completed successfully."""
+        raise NotImplementedError
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the operation aborted (coordinator crash, failure)."""
+        raise NotImplementedError
+
+    @property
+    def result(self) -> Any:
+        """The read value (``None`` for writes or unsettled handles)."""
+        raise NotImplementedError
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission-to-completion duration, or ``None`` if unsettled."""
+        raise NotImplementedError
+
+    def add_callback(self, callback: Callable[["OpHandle"], None]) -> None:
+        """Run ``callback(handle)`` when the operation settles.
+
+        Fires immediately if the handle already settled.  On the live
+        backend the callback runs on the event-loop thread.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("aborted" if self.aborted else "pending")
+        where = "" if self.key is None else f" key={self.key!r}"
+        return f"{type(self).__name__}({self.kind}{where}, {state})"
+
+
+@dataclass
+class Verdict:
+    """The merged outcome of one :meth:`~repro.api.base.Cluster.check`.
+
+    One shape for every backend and criterion: the single-register
+    checkers fill the scalar fields; the KV backend's per-key check
+    additionally populates :attr:`per_key` (key -> child verdict) and
+    folds the failures into :attr:`reason`.
+    """
+
+    ok: bool
+    #: The criterion as requested ("atomic", "regular", ...).
+    criterion: str
+    #: The underlying criterion actually checked ("persistent",
+    #: "transient", "regular", "safe").
+    consistency: str
+    #: Which checker ran: "black-box", "white-box" or "per-key".
+    method: str
+    #: Operations the verdict covers (for per-key checks: completed
+    #: operations across all keys, matching the KV report).
+    operations: int = 0
+    #: Human-readable diagnostic for failures ("" when ok).
+    reason: str = ""
+    #: Witness linearization (black-box successes only).
+    linearization: Optional[List[Any]] = None
+    #: Pending operations the witness treats as absent (black-box only).
+    dropped: Optional[List[Any]] = None
+    #: Per-key child verdicts (per-key checks only).
+    per_key: Optional[Dict[str, "Verdict"]] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def failures(self) -> Dict[str, str]:
+        """Failing keys -> diagnostics (empty for single-register checks)."""
+        if not self.per_key:
+            return {}
+        return {
+            key: child.reason
+            for key, child in self.per_key.items()
+            if not child.ok
+        }
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"FAILED({self.reason!r})"
+        keys = f", {len(self.per_key)} keys" if self.per_key is not None else ""
+        return (
+            f"Verdict({self.consistency}/{self.method}, "
+            f"{self.operations} ops{keys}, {status})"
+        )
+
+
+@dataclass
+class ClusterStats:
+    """Run-wide counters of a cluster, uniform across backends.
+
+    Counters a backend cannot measure stay zero (the live backend has
+    no kernel, so ``kernel_events`` is 0 there); ``clock`` is virtual
+    seconds on simulated backends and event-loop seconds on live.
+    """
+
+    clock: float = 0.0
+    kernel_events: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    stores_completed: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    #: Extra backend-specific counters, by name.
+    extra: Dict[str, Any] = field(default_factory=dict)

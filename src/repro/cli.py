@@ -28,10 +28,31 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 
+def _seed_kw(args: argparse.Namespace) -> Dict[str, int]:
+    """``{"seed": N}`` when ``--seed`` was given, else ``{}``.
+
+    Every subcommand takes the same ``--seed`` flag (from the shared
+    parent parser) with the same default: ``None``, meaning "use the
+    command's documented per-run seeds".  Handlers forward an explicit
+    seed to their harness with this helper, so the plumbing is uniform
+    instead of ad hoc per subparser.
+    """
+    seed = getattr(args, "seed", None)
+    return {} if seed is None else {"seed": seed}
+
+
+def seed_report(args: argparse.Namespace) -> str:
+    """The uniform seed line every command's output starts with."""
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        return "seed: command defaults (override with --seed)"
+    return f"seed: {seed}"
+
+
 def _cmd_figure6_top(args: argparse.Namespace) -> str:
     from repro.experiments.figure6 import figure6_top, format_figure6_top
 
-    series = figure6_top(repeats=args.repeats)
+    series = figure6_top(repeats=args.repeats, **_seed_kw(args))
     return (
         "Figure 6 (top): average write time vs. number of workstations\n"
         "(paper at N=5: crash-stop ~500us, transient ~700us, persistent ~900us)\n\n"
@@ -46,7 +67,7 @@ def _cmd_figure6_bottom(args: argparse.Namespace) -> str:
         linearity_of,
     )
 
-    series = figure6_bottom(repeats=args.repeats)
+    series = figure6_bottom(repeats=args.repeats, **_seed_kw(args))
     lines = [
         "Figure 6 (bottom): average write time vs. payload size, N = 5",
         "(the paper reports linear growth up to the 64 KB UDP limit)",
@@ -70,7 +91,9 @@ def _cmd_figure1(args: argparse.Namespace) -> str:
         run_transient,
     )
 
-    return format_figure1(run_persistent(), run_transient())
+    return format_figure1(
+        run_persistent(**_seed_kw(args)), run_transient(**_seed_kw(args))
+    )
 
 
 def _cmd_lower_bounds(args: argparse.Namespace) -> str:
@@ -82,10 +105,11 @@ def _cmd_lower_bounds(args: argparse.Namespace) -> str:
         run_rho4,
     )
 
-    runs = [run_rho1(a) for a in ("persistent", "transient", "broken-no-prelog")]
-    runs += [run_rho4(a) for a in ("persistent", "transient", "broken-no-writeback")]
-    runs.append(run_rho2("persistent"))
-    runs.append(run_rho3("persistent"))
+    kw = _seed_kw(args)
+    runs = [run_rho1(a, **kw) for a in ("persistent", "transient", "broken-no-prelog")]
+    runs += [run_rho4(a, **kw) for a in ("persistent", "transient", "broken-no-writeback")]
+    runs.append(run_rho2("persistent", **kw))
+    runs.append(run_rho3("persistent", **kw))
     return (
         "Lower-bound runs (Theorems 1 and 2; Figures 2 and 3)\n\n"
         + format_lower_bounds(runs)
@@ -98,7 +122,7 @@ def _cmd_log_complexity(args: argparse.Namespace) -> str:
         measure_log_complexity,
     )
 
-    rows = measure_log_complexity(operations=args.operations)
+    rows = measure_log_complexity(operations=args.operations, **_seed_kw(args))
     return (
         "Measured causal logs per operation vs. the paper's bounds\n\n"
         + format_log_complexity(rows)
@@ -110,7 +134,7 @@ def _cmd_ablations(args: argparse.Namespace) -> str:
 
     return (
         "Ablations: remove one design ingredient, observe its anomaly\n\n"
-        + format_ablations(run_all_ablations())
+        + format_ablations(run_all_ablations(**_seed_kw(args)))
     )
 
 
@@ -118,8 +142,8 @@ def _cmd_show_run(args: argparse.Namespace) -> str:
     from repro.experiments.figure1 import run_persistent, run_transient
     from repro.viz import render_history
 
-    persistent = run_persistent()
-    transient = run_transient()
+    persistent = run_persistent(**_seed_kw(args))
+    transient = run_transient(**_seed_kw(args))
     return (
         "Space-time diagrams of the Figure 1 runs (cf. the paper's figure)\n\n"
         "persistent algorithm -- recovery finishes the interrupted write:\n\n"
@@ -132,7 +156,7 @@ def _cmd_show_run(args: argparse.Namespace) -> str:
 def _cmd_complexity(args: argparse.Namespace) -> str:
     from repro.experiments.complexity import format_complexity, measure_complexity
 
-    results = measure_complexity(operations=5)
+    results = measure_complexity(operations=5, **_seed_kw(args))
     return (
         "Message and time complexity per operation\n"
         "(the paper: 4 communication steps for any operation; minimizing\n"
@@ -150,8 +174,8 @@ def _cmd_weaker_memory(args: argparse.Namespace) -> str:
         new_old_inversion_run,
     )
 
-    rows = measure_costs(repeats=args.repeats)
-    inversions = [new_old_inversion_run(a) for a in COMPARED]
+    rows = measure_costs(repeats=args.repeats, **_seed_kw(args))
+    inversions = [new_old_inversion_run(a, **_seed_kw(args)) for a in COMPARED]
     return (
         "Section VI: weaker-than-atomic emulations\n\n"
         + format_costs(rows)
@@ -169,6 +193,7 @@ def _cmd_kv_bench(args: argparse.Namespace) -> str:
         protocol=getattr(args, "protocol", "persistent"),
         num_clients=clients,
         operations_per_client=getattr(args, "operations", 30) or 30,
+        **_seed_kw(args),
     )
     return (
         "KV store: simulated-time throughput vs. shard count and batch window\n"
@@ -183,6 +208,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     report = run_bench(
         quick=getattr(args, "quick", False),
         repeats=getattr(args, "bench_repeats", None),
+        **_seed_kw(args),
     )
     paths = write_bench_files(report, getattr(args, "output_dir", "."))
     return (
@@ -263,11 +289,21 @@ def build_parser() -> argparse.ArgumentParser:
             "Memory in a Crash-Recovery Model' (Guerraoui & Levy, ICDCS 2004)"
         ),
     )
+    # Every subcommand shares the same seed flag with the same default
+    # (None = the command's documented per-run seeds) and the same
+    # reporting (the "seed:" line run() prepends).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=None,
+        help="override the run's seed(s); default: each command's "
+        "documented per-run seeds",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in COMMANDS:
         if name == "soak":
             sub = subparsers.add_parser(
                 name,
+                parents=[common],
                 help="run fault/workload scenarios (see repro soak --list)",
             )
             sub.add_argument(
@@ -285,10 +321,6 @@ def build_parser() -> argparse.ArgumentParser:
                 "--ops sets an explicit budget)",
             )
             sub.add_argument(
-                "--seed", type=int, default=None,
-                help="override the scenario's default seed",
-            )
-            sub.add_argument(
                 "--ops", type=int, default=None,
                 help="override the scenario's total operation budget",
             )
@@ -301,7 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
                 help="directory for BENCH_soak.json (default: current directory)",
             )
             continue
-        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub = subparsers.add_parser(
+            name, parents=[common], help=f"regenerate {name}"
+        )
         sub.add_argument(
             "--repeats", type=int, default=50,
             help="operations per data point (default: 50)",
@@ -338,7 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
                 help="timed repetitions per engine/checker case "
                 "(default: 10, or 3 with --quick)",
             )
-    all_cmd = subparsers.add_parser("all", help="run every experiment")
+    all_cmd = subparsers.add_parser(
+        "all", parents=[common], help="run every experiment"
+    )
     all_cmd.add_argument("--repeats", type=int, default=20)
     all_cmd.add_argument("--operations", type=int, default=20)
     return parser
@@ -348,7 +384,7 @@ def run(argv: Optional[List[str]] = None) -> str:
     """Execute the CLI and return the produced text (for tests)."""
     args = build_parser().parse_args(argv)
     if args.command == "all":
-        sections = []
+        sections = [seed_report(args)]
         for name, command in COMMANDS.items():
             sections.append("=" * 72)
             sections.append(f"== {name}")
@@ -356,7 +392,7 @@ def run(argv: Optional[List[str]] = None) -> str:
             sections.append(command(args))
             sections.append("")
         return "\n".join(sections)
-    return COMMANDS[args.command](args)
+    return seed_report(args) + "\n\n" + COMMANDS[args.command](args)
 
 
 def main() -> int:

@@ -1,6 +1,9 @@
 """High-level simulation API: build a cluster, run operations, inspect.
 
-This is the front door of the library for simulated runs::
+This is the *low-level* front-end for simulated runs -- the unified,
+backend-agnostic client API lives in :mod:`repro.api`
+(``open_cluster(backend="sim")`` wraps a cluster built here).  Use
+this layer directly when a tool needs simulator-specific surface::
 
     from repro import SimCluster
 

@@ -55,6 +55,17 @@ class ProtocolError(ReproError):
     """
 
 
+class CapabilityError(ReproError):
+    """A backend was asked for something it cannot do.
+
+    The unified façade (:mod:`repro.api`) exposes one vocabulary over
+    every backend; operations a backend cannot honor -- virtual-time
+    clock control on the live cluster, network partitions over real
+    sockets -- raise this instead of silently degrading.  Check
+    :attr:`repro.api.Cluster.capabilities` before calling them.
+    """
+
+
 class StorageError(ReproError):
     """A stable-storage read or write failed."""
 

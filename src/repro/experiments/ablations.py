@@ -25,7 +25,7 @@ shrunk to one ack      lost after crash      (Sections I-C, II)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.cluster import SimCluster
 from repro.common.errors import ReproError
@@ -57,10 +57,10 @@ class AblationResult:
         return (not self.broken_verdict.ok) and self.control_verdict.ok
 
 
-def ablate_writer_prelog() -> AblationResult:
+def ablate_writer_prelog(seed: Optional[int] = None) -> AblationResult:
     """Remove Figure 4's ``writing`` pre-log: run rho_1 becomes fatal."""
-    broken = run_rho1("broken-no-prelog")
-    control = run_rho1("persistent")
+    broken = run_rho1("broken-no-prelog", seed=seed)
+    control = run_rho1("persistent", seed=seed)
     return AblationResult(
         name="writer-prelog",
         anomaly="confused/orphan values",
@@ -71,10 +71,10 @@ def ablate_writer_prelog() -> AblationResult:
     )
 
 
-def ablate_read_writeback() -> AblationResult:
+def ablate_read_writeback(seed: Optional[int] = None) -> AblationResult:
     """Remove the read's write-back round: run rho_4 becomes fatal."""
-    broken = run_rho4("broken-no-writeback")
-    control = run_rho4("persistent")
+    broken = run_rho4("broken-no-writeback", seed=seed)
+    control = run_rho4("persistent", seed=seed)
     return AblationResult(
         name="read-writeback",
         anomaly="new/old inversion across reader crash",
@@ -85,7 +85,9 @@ def ablate_read_writeback() -> AblationResult:
     )
 
 
-def _rec_counter_scenario(algorithm: str) -> LowerBoundRun:
+def _rec_counter_scenario(
+    algorithm: str, seed: Optional[int] = None
+) -> LowerBoundRun:
     """Duplicate-tag schedule for the transient recovery counter.
 
     Writer is ``p2`` so the single adopter of the interrupted write
@@ -94,7 +96,8 @@ def _rec_counter_scenario(algorithm: str) -> LowerBoundRun:
     ``v2``'s sequence number and re-issues the same tag for ``v3``.
     """
     cluster = SimCluster(
-        protocol=algorithm, num_processes=3, seed=11, include_broken=True
+        protocol=algorithm, num_processes=3,
+        seed=11 if seed is None else seed, include_broken=True
     )
     cluster.start()
     writer = 2
@@ -147,10 +150,10 @@ def _rec_counter_scenario(algorithm: str) -> LowerBoundRun:
     )
 
 
-def ablate_recovery_counter() -> AblationResult:
+def ablate_recovery_counter(seed: Optional[int] = None) -> AblationResult:
     """Remove Figure 5's ``rec`` counter: recovered writer reuses a tag."""
-    broken = _rec_counter_scenario("broken-no-rec")
-    control = _rec_counter_scenario("transient")
+    broken = _rec_counter_scenario("broken-no-rec", seed=seed)
+    control = _rec_counter_scenario("transient", seed=seed)
     return AblationResult(
         name="recovery-counter",
         anomaly="duplicate timestamp after writer recovery",
@@ -161,10 +164,11 @@ def ablate_recovery_counter() -> AblationResult:
     )
 
 
-def _submajority_scenario(algorithm: str):
+def _submajority_scenario(algorithm: str, seed: Optional[int] = None):
     """Forgotten-value schedule: complete a write, crash the writer."""
     cluster = SimCluster(
-        protocol=algorithm, num_processes=3, seed=13, include_broken=True
+        protocol=algorithm, num_processes=3,
+        seed=13 if seed is None else seed, include_broken=True
     )
     cluster.start()
     # The sub-majority writer returns after its own loopback ack, i.e.
@@ -197,10 +201,10 @@ def _submajority_scenario(algorithm: str):
     return completed, read.result, check_persistent_atomicity(history)
 
 
-def ablate_majority_quorum() -> AblationResult:
+def ablate_majority_quorum(seed: Optional[int] = None) -> AblationResult:
     """Shrink the write quorum to one ack: completed writes can vanish."""
-    _, _, broken_verdict = _submajority_scenario("broken-submajority")
-    _, _, control_verdict = _submajority_scenario("persistent")
+    _, _, broken_verdict = _submajority_scenario("broken-submajority", seed=seed)
+    _, _, control_verdict = _submajority_scenario("persistent", seed=seed)
     return AblationResult(
         name="majority-quorum",
         anomaly="forgotten value after minority crash",
@@ -219,9 +223,9 @@ ALL_ABLATIONS = (
 )
 
 
-def run_all_ablations() -> List[AblationResult]:
-    """Run every ablation/control pair."""
-    return [ablation() for ablation in ALL_ABLATIONS]
+def run_all_ablations(seed: Optional[int] = None) -> List[AblationResult]:
+    """Run every ablation/control pair (``seed`` overrides each curated seed)."""
+    return [ablation(seed=seed) for ablation in ALL_ABLATIONS]
 
 
 def format_ablations(results: List[AblationResult]) -> str:

@@ -97,7 +97,7 @@ def _time_runs(fn: Callable[[], Any], repeats: int) -> Tuple[WallClockStats, Any
     return WallClockStats.from_samples(samples), result
 
 
-def _bench_engine(repeats: int) -> Dict[str, Dict[str, Any]]:
+def _bench_engine(repeats: int, seed: Optional[int] = None) -> Dict[str, Dict[str, Any]]:
     from repro.cluster import SimCluster
     from repro.workloads.generators import run_closed_loop
 
@@ -109,13 +109,14 @@ def _bench_engine(repeats: int) -> Dict[str, Dict[str, Any]]:
                 protocol=protocol,
                 num_processes=ENGINE_PROCESSES,
                 capture_trace=False,
+                seed=seed,
             )
             cluster.start()
             report = run_closed_loop(
                 cluster,
                 operations_per_client=20,
                 read_fraction=0.5,
-                seed=0,
+                seed=0 if seed is None else seed,
                 poll_every=ENGINE_POLL_STRIDE,
             )
             assert report.completed == ENGINE_OPERATIONS
@@ -230,7 +231,9 @@ def _bench_checker(repeats: int) -> Dict[str, Dict[str, Any]]:
     return results
 
 
-def _bench_kv(quick: bool, repeats: int) -> List[Dict[str, Any]]:
+def _bench_kv(
+    quick: bool, repeats: int, seed: Optional[int] = None
+) -> List[Dict[str, Any]]:
     from repro.experiments.kv_bench import run_kv_config
 
     shard_sweep = (1, 8) if quick else (1, 2, 4, 8)
@@ -245,7 +248,8 @@ def _bench_kv(quick: bool, repeats: int) -> List[Dict[str, Any]]:
 
         def run():
             return run_kv_config(
-                shards, batch_window=0.0, operations_per_client=operations
+                shards, batch_window=0.0, operations_per_client=operations,
+                seed=seed,
             )
 
         stats, row = _time_runs(run, kv_repeats)
@@ -265,16 +269,25 @@ def _bench_kv(quick: bool, repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
-def run_bench(quick: bool = False, repeats: Optional[int] = None) -> BenchReport:
-    """Measure every suite; ``quick`` is the CI-sized variant."""
+def run_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> BenchReport:
+    """Measure every suite; ``quick`` is the CI-sized variant.
+
+    ``seed`` overrides the curated workload seeds (the default keeps
+    trajectory points comparable across pushes; the checker suite's
+    synthetic history is seed-free either way).
+    """
     if repeats is None:
         repeats = 3 if quick else 10
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     report = BenchReport(quick=quick, repeats=repeats)
-    report.engine = _bench_engine(repeats)
+    report.engine = _bench_engine(repeats, seed=seed)
     report.checker = _bench_checker(repeats)
-    report.kv = _bench_kv(quick, repeats)
+    report.kv = _bench_kv(quick, repeats, seed=seed)
     return report
 
 

@@ -30,7 +30,7 @@ read's quorum is steered away from ``p2``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.cluster import SimCluster
 from repro.common.errors import ReproError
@@ -55,13 +55,17 @@ class Figure1Run:
     transient_verdict: AtomicityVerdict
 
 
-def _interrupted_write_scenario(algorithm: str) -> Figure1Run:
+def _interrupted_write_scenario(
+    algorithm: str, seed: Optional[int] = None
+) -> Figure1Run:
     """Drive the Figure 1 schedule against ``algorithm``.
 
     Processes: p0 = writer, p1 = reader, p2 = the only process that
     receives the interrupted ``W(v2)``.
     """
-    cluster = SimCluster(protocol=algorithm, num_processes=3, seed=1)
+    cluster = SimCluster(
+        protocol=algorithm, num_processes=3, seed=1 if seed is None else seed
+    )
     cluster.start()
     writer = cluster.node(0)
 
@@ -134,14 +138,14 @@ def _interrupted_write_scenario(algorithm: str) -> Figure1Run:
     )
 
 
-def run_persistent() -> Figure1Run:
+def run_persistent(seed: Optional[int] = None) -> Figure1Run:
     """The left-hand run of Figure 1 (persistent atomicity)."""
-    return _interrupted_write_scenario("persistent")
+    return _interrupted_write_scenario("persistent", seed=seed)
 
 
-def run_transient() -> Figure1Run:
+def run_transient(seed: Optional[int] = None) -> Figure1Run:
     """The right-hand run of Figure 1 (transient atomicity)."""
-    return _interrupted_write_scenario("transient")
+    return _interrupted_write_scenario("transient", seed=seed)
 
 
 def format_figure1(persistent: Figure1Run, transient: Figure1Run) -> str:

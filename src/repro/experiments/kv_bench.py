@@ -60,10 +60,14 @@ def run_kv_config(
     read_fraction: float = 0.85,
     num_keys: int = 64,
     zipf_s: float = 0.99,
-    seed: int = 7,
+    seed: Optional[int] = None,
     check: bool = True,
 ) -> KVBenchRow:
-    """Run one (shards, window) configuration and measure it."""
+    """Run one (shards, window) configuration and measure it.
+
+    ``seed`` defaults to the sweep's curated 7.
+    """
+    seed = 7 if seed is None else seed
     kv = KVCluster(
         protocol=protocol,
         num_processes=num_processes,
@@ -103,8 +107,12 @@ def run_kv_bench(
     window_sweep: Optional[Sequence[float]] = None,
     num_clients: int = 16,
     operations_per_client: int = 30,
+    seed: Optional[int] = None,
 ) -> List[KVBenchRow]:
-    """The full sweep; ``quick`` trims it to a CI-sized smoke run."""
+    """The full sweep; ``quick`` trims it to a CI-sized smoke run.
+
+    ``seed`` overrides the sweep's curated default seed.
+    """
     if shard_sweep is None:
         shard_sweep = (1, 8) if quick else SHARD_SWEEP
     if window_sweep is None:
@@ -118,6 +126,7 @@ def run_kv_bench(
             protocol=protocol,
             num_clients=num_clients,
             operations_per_client=operations_per_client,
+            seed=seed,
         )
         for shards in shard_sweep
     ]
@@ -128,6 +137,7 @@ def run_kv_bench(
             protocol=protocol,
             num_clients=num_clients,
             operations_per_client=operations_per_client,
+            seed=seed,
         )
         for window in window_sweep
         if window > 0.0

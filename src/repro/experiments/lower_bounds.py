@@ -56,7 +56,9 @@ class LowerBoundRun:
         return bool(self.transient_verdict)
 
 
-def run_rho1(algorithm: str = "persistent") -> LowerBoundRun:
+def run_rho1(
+    algorithm: str = "persistent", seed: Optional[int] = None
+) -> LowerBoundRun:
     """Run rho_1 of the Theorem 1 proof (Figure 2), on 5 processes.
 
     The writer is ``p4`` (the adopters of the interrupted write must
@@ -71,7 +73,8 @@ def run_rho1(algorithm: str = "persistent") -> LowerBoundRun:
     p4}``) run after ``W(v3)`` completed.
     """
     cluster = SimCluster(
-        protocol=algorithm, num_processes=5, seed=3, include_broken=True
+        protocol=algorithm, num_processes=5,
+        seed=3 if seed is None else seed, include_broken=True
     )
     cluster.start()
     writer = 4
@@ -130,7 +133,9 @@ def run_rho1(algorithm: str = "persistent") -> LowerBoundRun:
     )
 
 
-def run_rho4(algorithm: str = "persistent") -> LowerBoundRun:
+def run_rho4(
+    algorithm: str = "persistent", seed: Optional[int] = None
+) -> LowerBoundRun:
     """Run rho_4 of the Theorem 2 proof (Figure 3), on 3 processes.
 
     ``p0`` writes ``v1`` (complete) and then ``v2``, whose second round
@@ -142,7 +147,8 @@ def run_rho4(algorithm: str = "persistent") -> LowerBoundRun:
     and returns ``v1``, an inversion that violates transient atomicity.
     """
     cluster = SimCluster(
-        protocol=algorithm, num_processes=3, seed=5, include_broken=True
+        protocol=algorithm, num_processes=3,
+        seed=5 if seed is None else seed, include_broken=True
     )
     cluster.start()
 
@@ -192,7 +198,9 @@ def run_rho4(algorithm: str = "persistent") -> LowerBoundRun:
     )
 
 
-def run_rho2(algorithm: str = "persistent") -> LowerBoundRun:
+def run_rho2(
+    algorithm: str = "persistent", seed: Optional[int] = None
+) -> LowerBoundRun:
     """Run rho_2 (Figure 3): crash-recovered reader sees v1 -- legal.
 
     ``W(v2)`` is in progress and invisible to the reader's quorum; the
@@ -201,7 +209,8 @@ def run_rho2(algorithm: str = "persistent") -> LowerBoundRun:
     what becomes contradictory.
     """
     cluster = SimCluster(
-        protocol=algorithm, num_processes=3, seed=7, include_broken=True
+        protocol=algorithm, num_processes=3,
+        seed=7 if seed is None else seed, include_broken=True
     )
     cluster.start()
     cluster.write_sync(0, "v1")
@@ -230,10 +239,13 @@ def run_rho2(algorithm: str = "persistent") -> LowerBoundRun:
     )
 
 
-def run_rho3(algorithm: str = "persistent") -> LowerBoundRun:
+def run_rho3(
+    algorithm: str = "persistent", seed: Optional[int] = None
+) -> LowerBoundRun:
     """Run rho_3 (Figure 3): reader sees v2 before crashing -- legal."""
     cluster = SimCluster(
-        protocol=algorithm, num_processes=3, seed=9, include_broken=True
+        protocol=algorithm, num_processes=3,
+        seed=9 if seed is None else seed, include_broken=True
     )
     cluster.start()
     cluster.write_sync(0, "v1")

@@ -22,7 +22,7 @@ for it (loss of atomicity), on three axes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.cluster import SimCluster
 from repro.common.errors import ReproError
@@ -91,7 +91,9 @@ class InversionRun:
     safe: bool
 
 
-def new_old_inversion_run(algorithm: str) -> InversionRun:
+def new_old_inversion_run(
+    algorithm: str, seed: Optional[int] = None
+) -> InversionRun:
     """Two reads racing one write, quorums steered apart.
 
     ``W(new)``'s second round reaches only ``p2``.  ``R1`` (at ``p1``,
@@ -102,7 +104,8 @@ def new_old_inversion_run(algorithm: str) -> InversionRun:
     second read must return it.
     """
     cluster = SimCluster(
-        protocol=algorithm, num_processes=3, seed=21, include_broken=True
+        protocol=algorithm, num_processes=3,
+        seed=21 if seed is None else seed, include_broken=True
     )
     cluster.start()
     cluster.write_sync(0, "old")

@@ -1,5 +1,9 @@
 """The sharded key-value store front-end.
 
+This is the *low-level* KV layer -- the unified client API in
+:mod:`repro.api` (``open_cluster(backend="kv")``) wraps it behind the
+backend-agnostic ``Cluster``/``Session`` vocabulary.
+
 :class:`KVCluster` turns the single-register emulation into a store:
 
 * **key -> register**: every key is one virtual register instance,
@@ -60,6 +64,20 @@ PIPELINE_RETRY_INTERVAL = 1e-3
 #: Largest per-key projection the exhaustive black-box checker is asked
 #: to verify; bigger projections use the white-box tag checker.
 EXHAUSTIVE_CHECK_LIMIT = 20
+
+
+def projection_check_method(num_operations: int) -> str:
+    """The store's checker policy for one per-key projection.
+
+    Exhaustive black-box search up to :data:`EXHAUSTIVE_CHECK_LIMIT`
+    operations (bounded by the checker's own hard cap), the white-box
+    tag checker beyond.  Shared by :meth:`KVCluster.check_atomicity`
+    and the :mod:`repro.api` KV backend so the two surfaces cannot
+    diverge.
+    """
+    if num_operations <= min(EXHAUSTIVE_CHECK_LIMIT, MAX_OPERATIONS):
+        return "blackbox"
+    return "whitebox"
 
 #: Predicate-poll stride for the preload readiness barrier (see
 #: :meth:`repro.sim.kernel.Kernel.run_until`).
@@ -505,7 +523,7 @@ class KVCluster:
             operations = history.operations()
             if not operations:
                 continue
-            if len(operations) <= min(EXHAUSTIVE_CHECK_LIMIT, MAX_OPERATIONS):
+            if projection_check_method(len(operations)) == "blackbox":
                 verdict = check_history(
                     history, criterion=criterion, initial_value=initial_value
                 )

@@ -1,5 +1,9 @@
 """A live cluster of UDP nodes on localhost.
 
+This is the *low-level* live front-end -- the unified client API in
+:mod:`repro.api` (``open_cluster(backend="live")``) wraps it behind
+the backend-agnostic ``Cluster``/``Session`` vocabulary.
+
 :class:`LiveCluster` spins up N :class:`~repro.runtime.node.RuntimeNode`
 instances in one asyncio event loop, wires their transports together,
 and exposes both an async API and a blocking wrapper::
@@ -27,6 +31,7 @@ instances over the same UDP nodes -- one per key -- addressed with the
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import tempfile
 import threading
 from pathlib import Path
@@ -172,10 +177,18 @@ class LiveCluster:
         return self
 
     def _call(self, coroutine):
+        return self.submit(coroutine).result(timeout=max(self.op_timeout * 2, 30.0))
+
+    def submit(self, coroutine) -> concurrent.futures.Future:
+        """Schedule ``coroutine`` on the cluster loop without blocking.
+
+        Returns the :class:`concurrent.futures.Future` of its result --
+        the non-blocking entry point the :mod:`repro.api` live backend
+        builds its operation handles on.
+        """
         if self._loop is None:
             raise ReproError("cluster not started")
-        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
-        return future.result(timeout=max(self.op_timeout * 2, 30.0))
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop)
 
     def write(self, pid: ProcessId, value: Any, key: Optional[str] = None) -> None:
         """Blocking write at node ``pid`` (``key`` names a register instance)."""
@@ -188,6 +201,15 @@ class LiveCluster:
     def ensure_register(self, key: str) -> None:
         """Blocking provisioning of register instance ``key``."""
         self._call(self.aensure_register(key))
+
+    @property
+    def registers(self) -> List[str]:
+        """Named register instances provisioned so far, sorted."""
+        if not self.nodes:
+            return []
+        return sorted(
+            key for key in self.nodes[0].registers() if key is not None
+        )
 
     def crash_node(self, pid: ProcessId) -> None:
         """Emulate a crash of node ``pid``."""

@@ -150,6 +150,10 @@ class RuntimeNode:
         if self._booted and not self.crashed:
             self._boot_slot(slot)
 
+    def registers(self) -> List[Optional[str]]:
+        """Register ids hosted here (``None`` is the anonymous slot)."""
+        return list(self._slots)
+
     def _slot(self, register: Optional[str]) -> _RuntimeSlot:
         slot = self._slots.get(register)
         if slot is None:

@@ -50,9 +50,10 @@ __all__ = [
 def _sim_of(cluster):
     """The underlying :class:`~repro.cluster.SimCluster` of ``cluster``.
 
-    Accepts both a ``SimCluster`` and anything wrapping one behind a
-    ``.sim`` attribute (the KV store), so the same fault declarations
-    arm against either front-end.
+    Accepts a ``SimCluster`` and anything wrapping one behind a
+    ``.sim`` attribute -- the KV store and the façade adapters of
+    :mod:`repro.api` -- so the same fault declarations arm against any
+    virtual-time front-end.
     """
     return getattr(cluster, "sim", cluster)
 

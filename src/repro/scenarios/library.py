@@ -221,6 +221,29 @@ def _build_library() -> Dict[str, Scenario]:
                 WorkloadPhase(name=f"soak-{i + 1}") for i in range(5)
             ),
         ),
+        Scenario(
+            name="kv-soak-100k",
+            description=(
+                "The KV-store soak: 100k operations from 16 zipfian "
+                "closed-loop clients over 8 shard pipelines with "
+                "batching, five phases, every key's projection "
+                "re-checked after each"
+            ),
+            store=STORE_KV,
+            default_ops=100_000,
+            default_seed=7,
+            num_shards=8,
+            batch_window=2e-5,
+            phases=tuple(
+                WorkloadPhase(
+                    name=f"kv-soak-{i + 1}",
+                    clients=16,
+                    num_keys=128,
+                    read_fraction=0.85,
+                )
+                for i in range(5)
+            ),
+        ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 

@@ -28,11 +28,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api.base import Cluster, open_cluster
+from repro.api.types import SHARDING
 from repro.common.errors import ConfigurationError
-from repro.history.register_checker import check_tagged_history
 from repro.scenarios.faults import victims_of
 from repro.scenarios.spec import (
-    STORE_KV,
     VERIFY_PER_PHASE,
     Scenario,
     WorkloadPhase,
@@ -274,19 +274,24 @@ def _client_pids(scenario: Scenario, supports_recovery: bool) -> List[int]:
 
 
 def _check(
-    cluster, recorder, criterion: str, phase: str, method: str
+    cluster: Cluster, criterion: str, phase: str, method: str
 ) -> CheckOutcome:
-    """One white-box verification pass over the recorded history."""
+    """One façade verification pass over the recorded history.
+
+    ``method`` is the scenario's checker (the white-box tag checker on
+    the single register, per-key on the KV store); the façade's merged
+    :class:`~repro.api.types.Verdict` maps 1:1 onto the outcome.
+    """
     started = time.perf_counter()
-    result = check_tagged_history(cluster.history, recorder, criterion)
+    verdict = cluster.check(criterion=criterion, method=method)
     wall = time.perf_counter() - started
     return CheckOutcome(
         phase=phase,
-        ok=result.ok,
-        criterion=criterion,
-        method=method,
-        operations=result.operations,
-        violations="; ".join(result.violations),
+        ok=verdict.ok,
+        criterion=verdict.consistency,
+        method=verdict.method,
+        operations=verdict.operations,
+        violations=verdict.reason,
         wall_s=wall,
     )
 
@@ -350,16 +355,13 @@ def run_scenario(
     criterion = "transient" if protocol == "transient" else "persistent"
 
     started = time.perf_counter()
-    if scenario.store == STORE_KV:
-        result = _run_kv(scenario, protocol, seed, ops, capture, criterion)
-    else:
-        result = _run_register(scenario, protocol, seed, ops, capture, criterion)
+    result = _run(scenario, protocol, seed, ops, capture, criterion)
     result.wall_s = time.perf_counter() - started
     result.check_wall_s = sum(check.wall_s for check in result.checks)
     return result
 
 
-# -- register front-end ------------------------------------------------------
+# -- the one backend-agnostic driver -----------------------------------------
 
 
 def _register_plans(
@@ -380,7 +382,7 @@ def _register_plans(
     return plans
 
 
-def _run_register(
+def _run(
     scenario: Scenario,
     protocol: str,
     seed: int,
@@ -388,13 +390,21 @@ def _run_register(
     capture: bool,
     criterion: str,
 ) -> ScenarioResult:
-    from repro.cluster import SimCluster
+    """Drive ``scenario`` against the façade cluster its spec maps to.
 
-    cluster = SimCluster(
+    There is one driver for every store: the spec names the backend
+    (:attr:`~repro.scenarios.spec.Scenario.backend`), the cluster
+    declares its capabilities, and the only backend-sensitive choice
+    left -- which closed-loop workload shape to run -- keys off the
+    ``sharding`` capability, not the cluster's type.
+    """
+    cluster = open_cluster(
+        backend=scenario.backend,
         protocol=protocol,
         num_processes=scenario.num_processes,
         seed=seed,
         capture_trace=capture,
+        **scenario.backend_options(),
     )
     cluster.start()
     result = ScenarioResult(
@@ -407,70 +417,20 @@ def _run_register(
     recovery = _supports_recovery(protocol)
     pids = _client_pids(scenario, recovery)
     values = UniqueValues()
+    sharded = SHARDING in cluster.capabilities
 
-    def run_phase(phase: WorkloadPhase, phase_ops: int, index: int) -> PhaseOutcome:
-        rng = random.Random(_phase_seed(seed, index))
-        plans = _register_plans(phase, phase_ops, pids, rng)
-        phase_began = cluster.now
-        report = WorkloadRunner(cluster, plans, values=values).run(
+    def budget(phase_ops: int) -> dict:
+        return dict(
             timeout=max(_TIMEOUT_FLOOR, phase_ops * _TIMEOUT_PER_OP),
             max_events=max(_EVENTS_FLOOR, phase_ops * _EVENTS_PER_OP),
         )
-        return PhaseOutcome(
-            name=phase.name,
-            attempted=phase_ops,
-            completed=report.completed,
-            aborted=report.aborted,
-            unissued=report.unissued,
-            sim_duration=cluster.now - phase_began,
-        )
-
-    def check_fn(phase_name: str) -> CheckOutcome:
-        return _check(cluster, cluster.recorder, criterion, phase_name, "white-box")
-
-    _drive_phases(result, scenario, recovery, cluster, run_phase, check_fn)
-    _finalize(result, cluster, capture)
-    return result
-
-
-# -- KV front-end ------------------------------------------------------------
-
-
-def _run_kv(
-    scenario: Scenario,
-    protocol: str,
-    seed: int,
-    ops: int,
-    capture: bool,
-    criterion: str,
-) -> ScenarioResult:
-    from repro.kv.store import KVCluster
-
-    kv = KVCluster(
-        protocol=protocol,
-        num_processes=scenario.num_processes,
-        num_shards=scenario.num_shards,
-        batch_window=scenario.batch_window,
-        seed=seed,
-        capture_trace=capture,
-    )
-    kv.start()
-    result = ScenarioResult(
-        scenario=scenario.name,
-        store=scenario.store,
-        protocol=protocol,
-        seed=seed,
-        ops=ops,
-    )
-    recovery = _supports_recovery(protocol)
-    pids = _client_pids(scenario, recovery)
-    values = UniqueValues()
-    preloaded = set()
 
     def keys_for(phase: WorkloadPhase, index: int) -> ZipfianKeys:
         return ZipfianKeys(
             num_keys=phase.num_keys, s=phase.zipf_s, seed=_phase_seed(seed, index)
         )
+
+    preloaded: set = set()
 
     def prepare_phase(phase: WorkloadPhase, index: int) -> None:
         # Preload the phase's key universe before its faults are armed:
@@ -481,31 +441,46 @@ def _run_kv(
         keys = keys_for(phase, index)
         signature = frozenset(keys.keys)
         if signature - preloaded:
-            kv.preload(keys.keys, timeout=_TIMEOUT_FLOOR)
+            cluster.preload(keys.keys, timeout=_TIMEOUT_FLOOR)
             preloaded.update(signature)
 
-    def run_phase(phase: WorkloadPhase, phase_ops: int, index: int) -> PhaseOutcome:
+    def run_register_phase(
+        phase: WorkloadPhase, phase_ops: int, index: int
+    ) -> PhaseOutcome:
+        rng = random.Random(_phase_seed(seed, index))
+        plans = _register_plans(phase, phase_ops, pids, rng)
+        phase_began = cluster.now
+        report = WorkloadRunner(cluster, plans, values=values).run(
+            **budget(phase_ops)
+        )
+        return PhaseOutcome(
+            name=phase.name,
+            attempted=phase_ops,
+            completed=report.completed,
+            aborted=report.aborted,
+            unissued=report.unissued,
+            sim_duration=cluster.now - phase_began,
+        )
+
+    def run_kv_phase(
+        phase: WorkloadPhase, phase_ops: int, index: int
+    ) -> PhaseOutcome:
         clients = phase.clients or 16
         # Distribute the phase's share exactly: the budget in the
         # result/BENCH accounting must match what was attempted.
         base, extra = divmod(phase_ops, clients)
         per_client = [base + (1 if i < extra else 0) for i in range(clients)]
-        phase_seed = _phase_seed(seed, index)
         runner = KVWorkloadRunner(
-            kv,
+            cluster,
             num_clients=clients,
             operations_per_client=per_client,
             read_fraction=phase.read_fraction,
             keys=keys_for(phase, index),
-            seed=phase_seed,
+            seed=_phase_seed(seed, index),
             pids=pids,
             values=values,
         )
-        report = runner.run(
-            timeout=max(_TIMEOUT_FLOOR, phase_ops * _TIMEOUT_PER_OP),
-            max_events=max(_EVENTS_FLOOR, phase_ops * _EVENTS_PER_OP),
-            preload=False,
-        )
+        report = runner.run(preload=False, **budget(phase_ops))
         return PhaseOutcome(
             name=phase.name,
             attempted=phase_ops,
@@ -516,48 +491,30 @@ def _run_kv(
         )
 
     def check_fn(phase_name: str) -> CheckOutcome:
-        return _check_kv(kv, criterion, phase_name)
+        return _check(cluster, criterion, phase_name, scenario.check_method)
 
     _drive_phases(
-        result, scenario, recovery, kv, run_phase, check_fn,
-        prepare_phase=prepare_phase,
+        result,
+        scenario,
+        recovery,
+        cluster,
+        run_kv_phase if sharded else run_register_phase,
+        check_fn,
+        prepare_phase=prepare_phase if sharded else None,
     )
-    _finalize(result, kv, capture)
+    _finalize(result, cluster, capture)
     return result
 
 
-def _check_kv(kv, criterion: str, phase: str) -> CheckOutcome:
-    """Per-key verification of every projection recorded so far."""
-    started = time.perf_counter()
-    report = kv.check_atomicity(criterion=criterion)
-    wall = time.perf_counter() - started
-    violations = "; ".join(
-        f"{key}: {reason}" for key, reason in sorted(report.failures.items())
-    )
-    return CheckOutcome(
-        phase=phase,
-        ok=report.ok,
-        criterion=criterion,
-        method="per-key",
-        operations=len(kv.history.completed_operations()),
-        violations=violations,
-        wall_s=wall,
-    )
-
-
-def _finalize(result: ScenarioResult, cluster, capture: bool) -> None:
+def _finalize(result: ScenarioResult, cluster: Cluster, capture: bool) -> None:
     """Collect run-wide counters (and the transcript, if captured)."""
-    sim = getattr(cluster, "sim", cluster)
-    result.final_clock = sim.kernel.now
-    result.kernel_events = sim.kernel.events_processed
-    result.messages_sent = sim.network.messages_sent
-    result.messages_dropped = sim.network.messages_dropped
-    result.stores_completed = sum(
-        node.storage.stores_completed for node in sim.nodes
-    )
-    result.crashes = sum(node.crash_count for node in sim.nodes)
-    result.recoveries = sim.trace.count("recover")
+    stats = cluster.stats()
+    result.final_clock = stats.clock
+    result.kernel_events = stats.kernel_events
+    result.messages_sent = stats.messages_sent
+    result.messages_dropped = stats.messages_dropped
+    result.stores_completed = stats.stores_completed
+    result.crashes = stats.crashes
+    result.recoveries = stats.recoveries
     if capture:
-        result.transcript = _normalize_transcript(
-            [str(event) for event in sim.trace.events]
-        )
+        result.transcript = _normalize_transcript(cluster.transcript() or [])

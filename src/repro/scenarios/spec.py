@@ -95,6 +95,30 @@ class Scenario:
         if self.default_ops < 1:
             raise ConfigurationError("default_ops must be >= 1")
 
+    @property
+    def backend(self) -> str:
+        """The :func:`repro.api.open_cluster` backend this store maps to."""
+        return "kv" if self.store == STORE_KV else "sim"
+
+    def backend_options(self) -> dict:
+        """Extra ``open_cluster`` options the store needs (KV sharding)."""
+        if self.store == STORE_KV:
+            return {
+                "num_shards": self.num_shards,
+                "batch_window": self.batch_window,
+            }
+        return {}
+
+    @property
+    def check_method(self) -> str:
+        """The façade checker method the runner verifies with.
+
+        Per-key on the KV store; the white-box tag checker on the
+        single register (scenario budgets exceed the exhaustive cap,
+        and incremental per-phase re-checks need the near-linear one).
+        """
+        return "per-key" if self.store == STORE_KV else "whitebox"
+
     def split_ops(self, total_ops: int) -> Tuple[int, ...]:
         """Split ``total_ops`` across phases proportionally to weight.
 

@@ -7,6 +7,14 @@ reproduce that pattern on the simulator, where "waiting" means chaining
 the next invocation off the previous handle's completion callback so
 that multiple clients stay concurrent in virtual time.
 
+The runner drives the unified façade (:mod:`repro.api`): it accepts a
+façade :class:`~repro.api.base.Cluster` or a raw
+:class:`~repro.cluster.SimCluster` (lifted via
+:func:`~repro.api.base.as_cluster`) and issues operations through
+per-process :class:`~repro.api.base.Session` objects -- no
+backend-specific calls, so any virtual-time backend with session
+readiness works.
+
 Clients are crash-aware: when a client's operation aborts because its
 process crashed, the client waits for the process to recover and then
 continues with its remaining plan -- matching the model, where a
@@ -19,9 +27,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from repro.api.base import as_cluster
+from repro.api.types import OpHandle
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.history.events import READ, WRITE
-from repro.sim.node import SimOperation
 
 #: How often a blocked client re-checks its process, seconds.
 CLIENT_RETRY_INTERVAL = 1e-3
@@ -86,7 +95,7 @@ class ClientPlan:
 class WorkloadReport:
     """What happened when a workload ran."""
 
-    handles: List[SimOperation] = field(default_factory=list)
+    handles: List[OpHandle] = field(default_factory=list)
     completed: int = 0
     aborted: int = 0
     #: Operations never invoked (the run ended first).
@@ -98,7 +107,11 @@ class WorkloadReport:
 
 
 class WorkloadRunner:
-    """Executes client plans concurrently on a :class:`SimCluster`."""
+    """Executes client plans concurrently on a virtual-time cluster.
+
+    ``cluster`` may be a façade :class:`~repro.api.base.Cluster` or a
+    raw :class:`~repro.cluster.SimCluster` (lifted automatically).
+    """
 
     def __init__(
         self,
@@ -106,11 +119,13 @@ class WorkloadRunner:
         plans: Sequence[ClientPlan],
         values: Optional[UniqueValues] = None,
     ):
-        self._cluster = cluster
+        self._cluster = as_cluster(cluster)
         self._plans = list(plans)
+        self._sessions = {}
         for plan in self._plans:
-            if not 0 <= plan.pid < cluster.config.num_processes:
+            if not 0 <= plan.pid < self._cluster.num_processes:
                 raise ConfigurationError(f"plan pid {plan.pid} out of range")
+            self._sessions[plan.pid] = self._cluster.session(plan.pid)
         self._report = WorkloadReport()
         self._remaining = {plan.pid: list(plan.kinds) for plan in self._plans}
         self._active = 0
@@ -153,36 +168,34 @@ class WorkloadRunner:
         if not kinds:
             self._active -= 1
             return
-        node = self._cluster.node(pid)
-        if node.crashed or not node.ready or (
-            node.protocol.busy if hasattr(node.protocol, "busy") else False
-        ):
+        session = self._sessions[pid]
+        if not session.ready:
             # Process is down, recovering, or its recovery replay has
             # the machinery busy: try again shortly.
-            self._cluster.kernel.schedule(CLIENT_RETRY_INTERVAL, self._next_op, pid)
+            self._cluster.defer(CLIENT_RETRY_INTERVAL, self._next_op, pid)
             return
         kind = kinds.pop(0)
         try:
             if kind == WRITE:
-                handle = self._cluster.write(pid, self._values(pid))
+                handle = session.write(self._values(pid))
             else:
-                handle = self._cluster.read(pid)
+                handle = session.read()
         except ProtocolError:
             # Lost a race with protocol-internal activity; retry.
             kinds.insert(0, kind)
-            self._cluster.kernel.schedule(CLIENT_RETRY_INTERVAL, self._next_op, pid)
+            self._cluster.defer(CLIENT_RETRY_INTERVAL, self._next_op, pid)
             return
         self._report.handles.append(handle)
         handle.add_callback(lambda h, pid=pid: self._on_settled(pid, h))
 
-    def _on_settled(self, pid: int, handle: SimOperation) -> None:
+    def _on_settled(self, pid: int, handle: OpHandle) -> None:
         if handle.done:
             self._report.completed += 1
         else:
             self._report.aborted += 1
         # Invoke the next operation from a fresh kernel event rather
         # than inside the settling call stack.
-        self._cluster.kernel.schedule(0.0, self._next_op, pid)
+        self._cluster.defer(0.0, self._next_op, pid)
 
 
 def run_closed_loop(
@@ -196,7 +209,7 @@ def run_closed_loop(
 ) -> WorkloadReport:
     """Convenience wrapper: uniform random mix on the given processes."""
     if pids is None:
-        pids = range(cluster.config.num_processes)
+        pids = range(as_cluster(cluster).num_processes)
     rng = random.Random(seed)
     mix = OperationMix(read_fraction=read_fraction)
     plans = [

@@ -23,8 +23,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
+from repro.api.base import as_cluster
 from repro.common.errors import ConfigurationError
-from repro.history.events import READ, WRITE
 from repro.workloads.generators import UniqueValues
 
 #: Default predicate-poll stride for the KV drain loop: the per-event
@@ -98,7 +98,13 @@ class KVWorkloadReport:
 
 
 class KVWorkloadRunner:
-    """N closed-loop clients over a :class:`KVCluster`."""
+    """N closed-loop clients over the sharded store.
+
+    ``kv`` may be a façade :class:`~repro.api.kv.KVBackend` or a raw
+    :class:`~repro.kv.store.KVCluster` (lifted automatically); each
+    client issues through a :class:`~repro.api.base.Session` pinned to
+    its replica.
+    """
 
     def __init__(
         self,
@@ -133,7 +139,7 @@ class KVWorkloadRunner:
                 )
         if not 0.0 <= read_fraction <= 1.0:
             raise ConfigurationError("read_fraction must be in [0, 1]")
-        self._kv = kv
+        self._kv = as_cluster(kv)
         self._num_clients = num_clients
         self._read_fraction = read_fraction
         self._keys = keys if keys is not None else ZipfianKeys(seed=seed)
@@ -147,12 +153,13 @@ class KVWorkloadRunner:
         # Replicas clients are pinned to; restricting this keeps a run
         # live when some replicas never recover (crash-stop scenarios).
         if pids is None:
-            pids = list(range(kv.config.num_processes))
+            pids = list(range(self._kv.num_processes))
         elif not pids or any(
-            not 0 <= pid < kv.config.num_processes for pid in pids
+            not 0 <= pid < self._kv.num_processes for pid in pids
         ):
             raise ConfigurationError("pids must be a non-empty list of replica ids")
         self._pids = list(pids)
+        self._sessions = {pid: self._kv.session(pid) for pid in self._pids}
 
     def run(
         self,
@@ -197,10 +204,11 @@ class KVWorkloadRunner:
             return
         self._remaining[client] -= 1
         key = self._keys.draw(self._rng)
+        session = self._sessions[pid]
         if self._rng.random() < self._read_fraction:
-            handle = self._kv.read(key, pid=pid)
+            handle = session.read(key)
         else:
-            handle = self._kv.write(key, self._values(pid), pid=pid)
+            handle = session.write(self._values(pid), key)
         handle.add_callback(
             lambda h, client=client, pid=pid: self._on_settled(client, pid, h)
         )
@@ -215,7 +223,7 @@ class KVWorkloadRunner:
             self._report.aborted += 1
         # Issue the next operation from a fresh kernel event rather
         # than inside the settling call stack.
-        self._kv.kernel.schedule(0.0, self._next_op, client, pid)
+        self._kv.defer(0.0, self._next_op, client, pid)
 
 
 def run_kv_closed_loop(

@@ -1,0 +1,57 @@
+"""Integration: the Session contract against the live backend.
+
+The acceptance bar of the façade: the *same* program that
+``tests/unit/test_public_api.py`` runs against the simulated backends
+must run unmodified over real UDP sockets and fsync'd files -- plus
+the live backend's declared incapabilities must actually raise.
+"""
+
+import time
+
+import pytest
+
+from repro.api import CRASH_INJECTION, VIRTUAL_TIME, open_cluster
+from repro.common.errors import CapabilityError
+
+from tests.unit.test_public_api import session_program
+
+
+def test_live_runs_the_same_session_program():
+    verdict = session_program(
+        open_cluster(backend="live", protocol="persistent")
+    )
+    assert verdict.consistency == "persistent"
+
+
+def test_live_nonblocking_recover_records_failures():
+    with open_cluster(backend="live", num_processes=3) as c:
+        # Recovering a node that never crashed fails inside the loop
+        # thread; the error must be harvested, not silently dropped.
+        c.recover(0, wait=False)
+        deadline = time.monotonic() + 5.0
+        while not c.recovery_errors and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert c.recovery_errors and c.recovery_errors[0][0] == 0
+
+        c.crash(1)
+        c.recover(1, wait=False)
+        session = c.session(1)
+        deadline = time.monotonic() + 5.0
+        while not session.ready and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert session.ready
+        assert len(c.recovery_errors) == 1  # the healthy recovery added none
+
+
+def test_live_declares_no_virtual_time():
+    with open_cluster(backend="live", num_processes=3) as c:
+        assert CRASH_INJECTION in c.capabilities
+        assert VIRTUAL_TIME not in c.capabilities
+        with pytest.raises(CapabilityError):
+            c.run(0.1)
+        with pytest.raises(CapabilityError):
+            c.run_until(lambda: True)
+        with pytest.raises(CapabilityError):
+            c.now
+        with pytest.raises(CapabilityError):
+            c.partition([0], [1, 2])

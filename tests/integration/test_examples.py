@@ -19,7 +19,7 @@ def examples_on_path(monkeypatch):
     monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
     yield
     for name in ("quickstart", "crash_recovery_kv", "atomicity_semantics",
-                 "live_udp_cluster", "fault_scenarios"):
+                 "live_udp_cluster", "fault_scenarios", "unified_api"):
         sys.modules.pop(name, None)
 
 
@@ -54,6 +54,16 @@ def test_fault_scenarios_runs(capsys):
     assert "fingerprints identical: True" in out
     # Two summaries are printed (the library run and the custom one).
     assert out.count("PASS") == 2
+
+
+def test_unified_api_runs(capsys):
+    module = importlib.import_module("unified_api")
+    module.main()
+    out = capsys.readouterr().out
+    # One section per backend, each ending in a passing check.
+    for backend in ("sim", "kv", "live"):
+        assert backend in out
+    assert out.count("ok") == 3
 
 
 def test_live_udp_cluster_runs(capsys):

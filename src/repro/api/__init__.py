@@ -42,6 +42,7 @@ from repro.api.base import (
 from repro.api.kv import DEFAULT_KEY, KVBackend
 from repro.api.live import LiveBackend
 from repro.api.sim import SimBackend
+from repro.obs.metrics import MetricsSnapshot
 from repro.api.types import (
     ALL_CAPABILITIES,
     CHECK_CRITERIA,
@@ -67,6 +68,7 @@ __all__ = [
     "DEFAULT_KEY",
     "KVBackend",
     "LiveBackend",
+    "MetricsSnapshot",
     "OpHandle",
     "SHARDING",
     "Session",

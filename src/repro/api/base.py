@@ -45,6 +45,8 @@ from repro.api.types import (
 )
 from repro.common.errors import CapabilityError, ConfigurationError
 from repro.history.history import History
+from repro.obs.metrics import Histogram, MetricsRegistry, MetricsSnapshot
+from repro.obs.ring import RingTrace
 
 #: Names ``open_cluster`` accepts, mapped in :data:`BACKENDS` below.
 BACKEND_NAMES = ("sim", "kv", "live")
@@ -68,6 +70,32 @@ class Session:
     def __init__(self, cluster: "Cluster", pid: Optional[int]):
         self.cluster = cluster
         self.pid = pid
+        # Per-op latency histograms, resolved once per session (the
+        # pre-resolved-handle discipline of repro.obs).
+        registry = cluster.registry
+        self._latency_hists: Dict[str, Histogram] = {
+            "read": registry.histogram("op.read.latency"),
+            "write": registry.histogram("op.write.latency"),
+        }
+
+    def _observed(self, handle: OpHandle) -> OpHandle:
+        """Feed ``handle``'s latency into the session histograms.
+
+        The callback fires synchronously when the operation settles
+        (immediately for already-settled handles); it schedules no
+        events and consumes no randomness, so observation never
+        perturbs a seeded run.
+        """
+        handle.add_callback(self._record_latency)
+        return handle
+
+    def _record_latency(self, handle: OpHandle) -> None:
+        latency = handle.latency
+        if latency is None:
+            return
+        hist = self._latency_hists.get(handle.kind)
+        if hist is not None:
+            hist.observe(latency)
 
     @property
     def ready(self) -> bool:
@@ -282,6 +310,44 @@ class Cluster:
     def stats(self) -> ClusterStats:
         """Run-wide counters (zeros where the backend has none)."""
         raise NotImplementedError
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """This cluster's metrics registry (created on first use).
+
+        Backends install pull-gauges over their native counters via
+        :meth:`_register_metrics`; sessions resolve their latency
+        histograms here.  Reading counters through the registry costs
+        nothing on the hot path -- values are sampled at
+        :meth:`metrics` time.
+        """
+        registry = getattr(self, "_metrics_registry", None)
+        if registry is None:
+            registry = MetricsRegistry()
+            self._register_metrics(registry)
+            self._metrics_registry = registry
+        return registry
+
+    def _register_metrics(self, registry: MetricsRegistry) -> None:
+        """Hook: install this backend's gauges (see ``docs/observability.md``)."""
+
+    def metrics(self) -> MetricsSnapshot:
+        """A frozen, backend-uniform snapshot of every instrument.
+
+        Snapshots are diffable (``later.diff(earlier)`` isolates a
+        phase) and mergeable (``a.merge(b)`` aggregates runs); see
+        :class:`repro.obs.metrics.MetricsSnapshot`.
+        """
+        return self.registry.snapshot()
+
+    @property
+    def flight_recorder(self) -> Optional[RingTrace]:
+        """The always-on bounded event ring, or ``None`` when disabled.
+
+        Decode with :meth:`~repro.obs.ring.RingTrace.to_trace_events`,
+        or export via ``to_jsonl()`` / ``to_chrome_trace()``.
+        """
+        return None
 
     def transcript(self) -> Optional[List[str]]:
         """Captured trace events as strings, or ``None`` (no capture)."""

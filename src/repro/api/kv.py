@@ -29,7 +29,12 @@ from repro.api.types import (
     OpHandle,
     Verdict,
 )
-from repro.api.sim import check_one_register, sim_stats, sim_transcript
+from repro.api.sim import (
+    check_one_register,
+    register_sim_metrics,
+    sim_stats,
+    sim_transcript,
+)
 from repro.common.errors import OperationAborted
 from repro.history.history import History
 from repro.kv.store import KVOperation, projection_check_method
@@ -96,11 +101,15 @@ class KVSession(Session):
         # Only None maps to the default key: an empty string must reach
         # the store's own validation, not silently alias "default".
         target = DEFAULT_KEY if key is None else key
-        return KVHandle(self.cluster.kv.write(target, value, pid=self.pid))
+        return self._observed(
+            KVHandle(self.cluster.kv.write(target, value, pid=self.pid))
+        )
 
     def read(self, key: Optional[str] = None) -> KVHandle:
         target = DEFAULT_KEY if key is None else key
-        return KVHandle(self.cluster.kv.read(target, pid=self.pid))
+        return self._observed(
+            KVHandle(self.cluster.kv.read(target, pid=self.pid))
+        )
 
 
 class KVBackend(Cluster):
@@ -285,6 +294,17 @@ class KVBackend(Cluster):
         stats.extra["kv_completed"] = self.kv.completed_operations
         stats.extra["kv_aborted"] = self.kv.aborted_operations
         return stats
+
+    def _register_metrics(self, registry) -> None:
+        register_sim_metrics(registry, self.kv.sim)
+        kv = self.kv
+        registry.gauge("kv.shards", fn=lambda: kv.num_shards)
+        registry.gauge("kv.completed", fn=lambda: kv.completed_operations)
+        registry.gauge("kv.aborted", fn=lambda: kv.aborted_operations)
+
+    @property
+    def flight_recorder(self):
+        return self.kv.flight_recorder
 
     def transcript(self) -> Optional[List[str]]:
         return sim_transcript(self.kv.sim)

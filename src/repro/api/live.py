@@ -103,15 +103,15 @@ class LiveSession(Session):
 
     def write(self, value: Any, key: Optional[str] = None) -> LiveHandle:
         live = self.cluster.live
-        return LiveHandle(
+        return self._observed(LiveHandle(
             "write", key, self.pid, live.submit(live.awrite(self.pid, value, key=key))
-        )
+        ))
 
     def read(self, key: Optional[str] = None) -> LiveHandle:
         live = self.cluster.live
-        return LiveHandle(
+        return self._observed(LiveHandle(
             "read", key, self.pid, live.submit(live.aread(self.pid, key=key))
-        )
+        ))
 
 
 class LiveBackend(Cluster):
@@ -273,11 +273,59 @@ class LiveBackend(Cluster):
 
     def stats(self) -> ClusterStats:
         nodes = self.live.nodes
+        sent = sum(node.transport.messages_sent for node in nodes)
+        received = sum(node.transport.messages_received for node in nodes)
         return ClusterStats(
             clock=self.live._clock(),
-            messages_sent=sum(node.transport.messages_sent for node in nodes),
+            # kernel_events stays 0: real time has no event loop counter
+            # comparable to the simulator's.
+            messages_sent=sent,
+            # UDP gives no per-datagram loss signal; sent-minus-received
+            # is the best available estimate (in-flight datagrams and
+            # crash-muted receivers count as dropped).
+            messages_dropped=max(0, sent - received),
             stores_completed=sum(
                 node.storage.stores_completed for node in nodes
             ),
             crashes=sum(node.incarnation for node in nodes),
+            recoveries=sum(node.recoveries for node in nodes),
         )
+
+    def _register_metrics(self, registry) -> None:
+        live = self.live
+        nodes = live.nodes
+        registry.gauge("kernel.clock", fn=live._clock)
+        registry.gauge(
+            "net.messages_sent",
+            fn=lambda: sum(n.transport.messages_sent for n in nodes),
+        )
+        registry.gauge(
+            "net.messages_delivered",
+            fn=lambda: sum(n.transport.messages_received for n in nodes),
+        )
+        registry.gauge(
+            "net.messages_dropped",
+            fn=lambda: max(
+                0,
+                sum(n.transport.messages_sent for n in nodes)
+                - sum(n.transport.messages_received for n in nodes),
+            ),
+        )
+        registry.gauge(
+            "storage.stores_completed",
+            fn=lambda: sum(n.storage.stores_completed for n in nodes),
+        )
+        registry.gauge(
+            "node.crashes", fn=lambda: sum(n.incarnation for n in nodes)
+        )
+        registry.gauge(
+            "node.recoveries", fn=lambda: sum(n.recoveries for n in nodes)
+        )
+        registry.gauge(
+            "trace.flight_recorded",
+            fn=lambda: live.flight_recorder.total,
+        )
+
+    @property
+    def flight_recorder(self):
+        return self.live.flight_recorder

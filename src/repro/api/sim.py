@@ -86,18 +86,36 @@ class SimSession(Session):
         return not (protocol.busy if hasattr(protocol, "busy") else False)
 
     def write(self, value: Any, key: Optional[str] = None) -> SimHandle:
-        return SimHandle(self.cluster.sim.write(self.pid, value, key=key))
-
-    def read(self, key: Optional[str] = None) -> SimHandle:
-        return SimHandle(self.cluster.sim.read(self.pid, key=key))
-
-    def write_sync(self, value, key=None, timeout=5.0):
-        return SimHandle(
-            self.cluster.sim.write_sync(self.pid, value, key=key, timeout=timeout)
+        return self._observed(
+            SimHandle(self.cluster.sim.write(self.pid, value, key=key))
         )
 
+    def read(self, key: Optional[str] = None) -> SimHandle:
+        return self._observed(
+            SimHandle(self.cluster.sim.read(self.pid, key=key))
+        )
+
+    def write_sync(self, value, key=None, timeout=5.0):
+        # The raw op is already settled here; _observed fires the
+        # latency callback immediately.
+        return self._observed(SimHandle(
+            self.cluster.sim.write_sync(self.pid, value, key=key, timeout=timeout)
+        ))
+
     def read_sync(self, key=None, timeout=5.0):
-        return self.cluster.sim.read_sync(self.pid, key=key, timeout=timeout)
+        # Mirrors SimCluster.read_sync (register readiness barrier
+        # included) but keeps the handle so the latency is observed.
+        sim = self.cluster.sim
+        if key is not None:
+            sim.ensure_register(key)
+            sim.wait_register(key, timeout=timeout)
+        handle = self._observed(SimHandle(sim.read(self.pid, key=key)))
+        sim.wait(handle.raw, timeout=timeout)
+        if handle.aborted:
+            raise OperationAborted(
+                f"read at p{self.pid} aborted by a crash"
+            )
+        return handle.result
 
 
 class SimBackend(Cluster):
@@ -254,6 +272,13 @@ class SimBackend(Cluster):
     def stats(self) -> ClusterStats:
         return sim_stats(self.sim)
 
+    def _register_metrics(self, registry) -> None:
+        register_sim_metrics(registry, self.sim)
+
+    @property
+    def flight_recorder(self):
+        return self.sim.flight_recorder
+
     def transcript(self) -> Optional[List[str]]:
         return sim_transcript(self.sim)
 
@@ -340,6 +365,47 @@ def sim_stats(sim) -> ClusterStats:
         ),
         crashes=sum(node.crash_count for node in sim.nodes),
         recoveries=sim.trace.count("recover"),
+    )
+
+
+def register_sim_metrics(registry, sim) -> None:
+    """Install the uniform gauge catalog over a simulated cluster.
+
+    Every gauge is pull-based: it reads a counter the engine already
+    maintains, so registering them adds nothing to the hot path.  The
+    KV adapter layers its shard-level metrics on top of this set; the
+    live adapter mirrors the same names from its transports (see the
+    metrics catalog in ``docs/observability.md``).
+    """
+    kernel, network, trace = sim.kernel, sim.network, sim.trace
+    nodes = sim.nodes
+    registry.gauge("kernel.clock", fn=lambda: kernel.now)
+    registry.gauge("kernel.events", fn=lambda: kernel.events_processed)
+    registry.gauge("net.messages_sent", fn=lambda: network.messages_sent)
+    registry.gauge(
+        "net.messages_delivered", fn=lambda: network.messages_delivered
+    )
+    registry.gauge("net.messages_dropped", fn=lambda: network.messages_dropped)
+    registry.gauge("net.bytes_sent", fn=lambda: network.bytes_sent)
+    registry.gauge(
+        "storage.stores_completed",
+        fn=lambda: sum(n.storage.stores_completed for n in nodes),
+    )
+    registry.gauge(
+        "storage.stores_lost_to_crash",
+        fn=lambda: sum(n.storage.stores_lost_to_crash for n in nodes),
+    )
+    registry.gauge(
+        "storage.bytes_logged",
+        fn=lambda: sum(n.storage.bytes_logged for n in nodes),
+    )
+    registry.gauge(
+        "node.crashes", fn=lambda: sum(n.crash_count for n in nodes)
+    )
+    registry.gauge("node.recoveries", fn=lambda: trace.count("recover"))
+    registry.gauge(
+        "trace.flight_recorded",
+        fn=lambda: trace.ring.total if trace.ring is not None else 0,
     )
 
 

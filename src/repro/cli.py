@@ -13,12 +13,17 @@ Usage::
     python -m repro bench [--quick]
     python -m repro soak --list
     python -m repro soak soak-100k --seed 7
+    python -m repro trace crash-during-write --format chrome
+    python -m repro stats soak-100k --quick
+    python -m repro trace-bench [--quick]
     python -m repro all
 
 The figure/table subcommands print the same rows/series the paper
 reports (see docs/protocols.md for the paper-vs-measured mapping);
 ``bench`` and ``soak`` track the engine's own performance and the
-scenario suite (see docs/benchmarks.md and docs/scenarios.md).
+scenario suite (see docs/benchmarks.md and docs/scenarios.md);
+``trace``/``stats``/``trace-bench`` surface the observability layer
+(see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -265,6 +270,130 @@ def _cmd_soak(args: argparse.Namespace) -> str:
     return result.summary() + f"\n\nwrote {path}"
 
 
+def _run_named_soak(args: argparse.Namespace, scenario: str):
+    from repro.scenarios.soak import run_soak
+
+    return run_soak(
+        scenario,
+        protocol=getattr(args, "protocol", None),
+        seed=getattr(args, "seed", None),
+        ops=getattr(args, "ops", None),
+        quick=getattr(args, "quick", False),
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.scenarios.soak import format_scenario_list
+
+    scenario = getattr(args, "scenario", None)
+    if scenario is None:
+        return (
+            "repro trace <scenario>: run a scenario, export its "
+            "flight-recorder ring (see docs/observability.md)\n\n"
+            + format_scenario_list()
+        )
+    result = _run_named_soak(args, scenario)
+    ring = result.flight_recorder
+    if ring is None:
+        return result.summary() + (
+            "\n\nthe run kept no flight recorder (ring disabled)"
+        )
+    fmt = getattr(args, "format", "chrome")
+    if fmt == "text":
+        payload = "\n".join(
+            f"{event.time:12.6f}  {event.kind:<14} p{event.pid}"
+            + (f"  {event.op}" if event.op is not None else "")
+            for event in ring.events()
+        )
+        output = getattr(args, "output", None)
+        if output is None:
+            return result.summary() + "\n\n" + payload
+    elif fmt == "jsonl":
+        payload = ring.to_jsonl()
+        output = getattr(args, "output", None) or f"TRACE_{scenario}.jsonl"
+    else:
+        payload = json.dumps(ring.to_chrome_trace()) + "\n"
+        output = getattr(args, "output", None) or f"TRACE_{scenario}.json"
+    Path(output).write_text(
+        payload if payload.endswith("\n") or not payload else payload + "\n"
+    )
+    counts = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(ring.counts().items())
+    )
+    return (
+        result.summary()
+        + f"\n\nring: {len(ring):,} of {ring.total:,} events retained"
+        + f" ({counts})"
+        + f"\nwrote {output} ({fmt})"
+    )
+
+
+def _format_metrics_dict(metrics: Dict[str, object]) -> str:
+    """Align a :meth:`MetricsSnapshot.as_dict` payload for the CLI."""
+    scalars = dict(metrics.get("scalars", {}))
+    hists = dict(metrics.get("histograms", {}))
+    if not scalars and not hists:
+        return "  (no metrics)"
+    width = max(len(name) for name in list(scalars) + list(hists))
+    lines = []
+    for name, value in sorted(
+        scalars.items(), key=lambda item: (-item[1], item[0])
+    ):
+        text = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.6g}"
+        lines.append(f"  {name:<{width}}  {text:>14}")
+    for name, hist in sorted(hists.items()):
+        lines.append(
+            f"  {name:<{width}}  count={hist['count']:,} "
+            f"mean={hist['mean'] * 1e6:,.0f}us p50={hist['p50'] * 1e6:,.0f}us "
+            f"p99={hist['p99'] * 1e6:,.0f}us max={hist['max'] * 1e6:,.0f}us"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> str:
+    from repro.scenarios.soak import format_scenario_list
+
+    scenario = getattr(args, "scenario", None)
+    if scenario is None:
+        return (
+            "repro stats <scenario>: run a scenario, report its metrics "
+            "registry (see docs/observability.md)\n\n"
+            + format_scenario_list()
+        )
+    result = _run_named_soak(args, scenario)
+    sections = [result.summary(), "", "final metrics:",
+                _format_metrics_dict(result.metrics or {})]
+    for phase in result.phases:
+        if phase.metrics:
+            sections += ["", f"phase {phase.name} (diff):",
+                         _format_metrics_dict(phase.metrics)]
+    return "\n".join(sections)
+
+
+def _cmd_trace_bench(args: argparse.Namespace) -> str:
+    from repro.experiments.trace_bench import (
+        format_trace_bench,
+        run_trace_bench,
+        write_trace_file,
+    )
+
+    report = run_trace_bench(
+        quick=getattr(args, "quick", False),
+        ops=getattr(args, "ops", None),
+        repeats=getattr(args, "trace_repeats", None),
+        **_seed_kw(args),
+    )
+    path = write_trace_file(report, getattr(args, "output_dir", "."))
+    return (
+        "Flight-recorder overhead A/B (wall-clock; see BENCH_trace.json)\n\n"
+        + format_trace_bench(report)
+        + f"\n\nwrote {path}"
+    )
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure6-top": _cmd_figure6_top,
     "figure6-bottom": _cmd_figure6_bottom,
@@ -278,7 +407,16 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "kv-bench": _cmd_kv_bench,
     "bench": _cmd_bench,
     "soak": _cmd_soak,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
+    "trace-bench": _cmd_trace_bench,
 }
+
+#: Subcommands ``repro all`` skips: the flight-recorder diagnostics
+#: want an explicit scenario, and the trace-overhead A/B takes minutes
+#: at its full budget -- run them deliberately (``repro trace`` /
+#: ``repro stats`` / ``repro trace-bench``).
+SKIPPED_BY_ALL = frozenset({"trace", "stats", "trace-bench"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -331,6 +469,72 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--output-dir", dest="output_dir", default=".",
                 help="directory for BENCH_soak.json (default: current directory)",
+            )
+            continue
+        if name in ("trace", "stats"):
+            what = (
+                "export its flight-recorder ring"
+                if name == "trace"
+                else "report its metrics registry"
+            )
+            sub = subparsers.add_parser(
+                name, parents=[common],
+                help=f"run a scenario, {what} (docs/observability.md)",
+            )
+            sub.add_argument(
+                "scenario", nargs="?", default=None,
+                help="scenario name (omit to list the library)",
+            )
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="trim the operation budget to the CI smoke size",
+            )
+            sub.add_argument(
+                "--ops", type=int, default=None,
+                help="override the scenario's total operation budget",
+            )
+            sub.add_argument(
+                "--protocol", default=None,
+                help="override the scenario's default register protocol",
+            )
+            if name == "trace":
+                sub.add_argument(
+                    "--format", choices=("chrome", "jsonl", "text"),
+                    default="chrome",
+                    help="export format: Chrome trace_event JSON (load in "
+                    "chrome://tracing or Perfetto), JSONL, or plain text "
+                    "(default: chrome)",
+                )
+                sub.add_argument(
+                    "--output", default=None,
+                    help="output path (default: TRACE_<scenario>.json/.jsonl; "
+                    "text prints to stdout)",
+                )
+            continue
+        if name == "trace-bench":
+            sub = subparsers.add_parser(
+                name, parents=[common],
+                help="measure trace-off vs ring-on vs full-trace overhead "
+                "(writes BENCH_trace.json)",
+            )
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="CI-sized A/B (trimmed budget, fewer repeats)",
+            )
+            sub.add_argument(
+                "--ops", type=int, default=None,
+                help="override the soak scenario's operation budget",
+            )
+            sub.add_argument(
+                "--trace-repeats", dest="trace_repeats", type=int,
+                default=None,
+                help="timed repetitions per mode (default: 3, or 2 with "
+                "--quick)",
+            )
+            sub.add_argument(
+                "--output-dir", dest="output_dir", default=".",
+                help="directory for BENCH_trace.json (default: current "
+                "directory)",
             )
             continue
         sub = subparsers.add_parser(
@@ -386,6 +590,8 @@ def run(argv: Optional[List[str]] = None) -> str:
     if args.command == "all":
         sections = [seed_report(args)]
         for name, command in COMMANDS.items():
+            if name in SKIPPED_BY_ALL:
+                continue
             sections.append("=" * 72)
             sections.append(f"== {name}")
             sections.append("=" * 72)

@@ -79,6 +79,7 @@ class SimCluster:
         include_broken: bool = False,
         capture_trace: bool = True,
         batch_window: float = 0.0,
+        flight_recorder: bool = True,
     ):
         if config is None:
             config = ClusterConfig()
@@ -105,7 +106,9 @@ class SimCluster:
         self._protocol_class = get_protocol_class(protocol, include_broken=include_broken)
 
         self.kernel = Kernel(seed=config.seed)
-        self.trace = Trace(capture=capture_trace)
+        self.trace = Trace(
+            capture=capture_trace, flight_recorder=flight_recorder
+        )
         self.recorder = HistoryRecorder(clock=lambda: self.kernel.now)
         self.network = SimNetwork(
             self.kernel, config.num_processes, config.network, self.trace
@@ -165,6 +168,11 @@ class SimCluster:
     @property
     def majority(self) -> int:
         return self.config.majority
+
+    @property
+    def flight_recorder(self):
+        """The trace's always-on event ring, or ``None`` when disabled."""
+        return self.trace.ring
 
     @property
     def history(self) -> History:

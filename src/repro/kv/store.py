@@ -285,6 +285,7 @@ class KVCluster:
         config: Optional[ClusterConfig] = None,
         seed: Optional[int] = None,
         capture_trace: bool = False,
+        flight_recorder: bool = True,
     ):
         if batch_window < 0:
             raise ConfigurationError("batch_window must be >= 0")
@@ -303,6 +304,7 @@ class KVCluster:
             seed=seed,
             capture_trace=capture_trace,
             batch_window=batch_window,
+            flight_recorder=flight_recorder,
         )
         self._pipelines: Dict[Tuple[ProcessId, int], _ShardPipeline] = {}
         self._next_pid = 0
@@ -342,6 +344,11 @@ class KVCluster:
     @property
     def recorder(self):
         return self.sim.recorder
+
+    @property
+    def flight_recorder(self):
+        """The underlying trace's event ring, or ``None`` when disabled."""
+        return self.sim.flight_recorder
 
     @property
     def history(self) -> History:

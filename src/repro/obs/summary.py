@@ -1,0 +1,118 @@
+"""Shared summary statistics: the single percentile implementation.
+
+Home of the exact (sample-sorting) percentile math and the two summary
+dataclasses the benchmark and experiment harnesses report.  These used
+to live in :mod:`repro.metrics`, which still re-exports them unchanged;
+they moved here so the telemetry layer's bucketed histograms
+(:mod:`repro.obs.metrics`) and the exact summaries are one family with
+one quantile convention instead of two drifting copies.
+
+* :func:`percentile` -- exact ``q``-th percentile with linear
+  interpolation, small-sample friendly.
+* :class:`WallClockStats` -- repeated-run wall-clock summary (best /
+  mean / p50 / p99 / worst), the row format of every ``BENCH_*.json``.
+* :class:`LatencyStats` -- simulated-time latency summary in the units
+  the paper's graphs use.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Small-sample friendly: ``p99`` of five samples interpolates toward
+    the maximum instead of requiring a hundred runs.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * (q / 100.0)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+@dataclass
+class WallClockStats:
+    """Wall-clock summary of repeated benchmark runs, in seconds."""
+
+    count: int = 0
+    best: float = 0.0
+    mean: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    worst: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "WallClockStats":
+        if not samples:
+            return cls()
+        return cls(
+            count=len(samples),
+            best=min(samples),
+            mean=statistics.fmean(samples),
+            p50=percentile(samples, 50.0),
+            p99=percentile(samples, 99.0),
+            worst=max(samples),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly form for the ``BENCH_*.json`` trajectory files."""
+        return {
+            "count": self.count,
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p99_s": self.p99,
+            "worst_s": self.worst,
+        }
+
+    def ops_per_sec(self, operations: int) -> float:
+        """Median throughput: ``operations`` per second of p50 wall time.
+
+        The unit every ``BENCH_*.json`` trajectory point reports for
+        the engine, checker and KV suites.
+        """
+        if self.p50 <= 0:
+            return 0.0
+        return operations / self.p50
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of a latency sample, in seconds."""
+
+    count: int = 0
+    mean: float = 0.0
+    median: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    stdev: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "LatencyStats":
+        if not samples:
+            return cls()
+        return cls(
+            count=len(samples),
+            mean=statistics.fmean(samples),
+            median=statistics.median(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+            stdev=statistics.pstdev(samples) if len(samples) > 1 else 0.0,
+        )
+
+    @property
+    def mean_us(self) -> float:
+        """Mean in microseconds, the unit of the paper's graphs."""
+        return self.mean * 1e6

@@ -73,6 +73,13 @@ class LiveCluster:
             storage_root = Path(self._tmpdir.name)
         self.storage_root = Path(storage_root)
         self.recorder = HistoryRecorder(clock=self._clock)
+        # One shared flight recorder over every node's transport,
+        # using the sim trace's kind vocabulary so exports decode
+        # uniformly across backends.
+        from repro.obs.ring import RingTrace
+        from repro.sim.tracing import ALL_KINDS
+
+        self.flight_recorder = RingTrace(kinds=ALL_KINDS)
         self.nodes: List[RuntimeNode] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -112,6 +119,9 @@ class LiveCluster:
                 recorder=self.recorder,
             )
             await node.start()
+            node.transport.attach_flight_recorder(
+                self.flight_recorder, self._clock
+            )
             self.nodes.append(node)
         peers = [
             Peer(pid=node.pid, host=node.transport.host, port=node.transport.port)

@@ -106,6 +106,7 @@ class RuntimeNode:
         self._timers: Dict[Tuple[Optional[str], Hashable], asyncio.TimerHandle] = {}
         self.crashed = False
         self.incarnation = 0
+        self.recoveries = 0
         self._booted = False
 
     def _make_slot(self, register: Optional[str]) -> _RuntimeSlot:
@@ -200,6 +201,7 @@ class RuntimeNode:
         if not self.crashed:
             raise ProtocolError(f"node {self.pid} is not crashed")
         self.crashed = False
+        self.recoveries += 1
         self.transport.muted = False
         self.storage.reload_from_disk()
         self._recorder.record_recovery(self.pid)

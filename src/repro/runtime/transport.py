@@ -63,6 +63,26 @@ class UdpTransport:
         self.messages_received = 0
         #: Set to True to drop all I/O (crash emulation).
         self.muted = False
+        # Optional flight recorder (attach_flight_recorder); when
+        # attached, send/receive are mirrored into the shared ring.
+        self._ring = None
+        self._ring_clock: Optional[Callable[[], float]] = None
+        self._ring_send = 0
+        self._ring_deliver = 0
+
+    def attach_flight_recorder(
+        self, ring, clock: Callable[[], float]
+    ) -> None:
+        """Mirror sends/receives into ``ring``, timestamped by ``clock``.
+
+        Kind codes are resolved once here (the pre-resolved-handle
+        discipline of :mod:`repro.obs`); the per-datagram cost is one
+        ``record`` call.
+        """
+        self._ring = ring
+        self._ring_clock = clock
+        self._ring_send = ring.kind_id("send")
+        self._ring_deliver = ring.kind_id("deliver")
 
     async def start(self, receive: ReceiveCallback) -> None:
         """Bind the socket and start delivering to ``receive``."""
@@ -94,6 +114,11 @@ class UdpTransport:
             )
         self._transport.sendto(payload, (peer.host, peer.port))
         self.messages_sent += 1
+        ring = self._ring
+        if ring is not None:
+            ring.record(
+                self._ring_clock(), self._ring_send, self.pid, message.op
+            )
 
     def broadcast(self, depth: int, message: Message) -> None:
         """Send to every known peer, including this node."""
@@ -108,6 +133,11 @@ class UdpTransport:
         except (pickle.PickleError, ValueError, EOFError):
             return  # garbage datagram: drop, like a checksum failure
         self.messages_received += 1
+        ring = self._ring
+        if ring is not None:
+            ring.record(
+                self._ring_clock(), self._ring_deliver, self.pid, message.op
+            )
         self._receive(src, depth, message)
 
     def close(self) -> None:

@@ -96,6 +96,13 @@ class PhaseOutcome:
     aborted: int
     unissued: int
     sim_duration: float
+    #: What the phase cost, as a :meth:`~repro.obs.metrics
+    #: .MetricsSnapshot.diff` of the cluster's metrics across the
+    #: phase (``as_dict`` form).  Observational only -- latency
+    #: histograms include bucket estimates and the live backend's
+    #: gauges move with wall time -- so it stays out of the
+    #: fingerprint.
+    metrics: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def fingerprint(self) -> Dict[str, Any]:
         return {
@@ -135,6 +142,13 @@ class ScenarioResult:
     #: the fingerprint -- they vary run to run.
     wall_s: float = 0.0
     check_wall_s: float = 0.0
+    #: Final cluster-wide metrics snapshot (``as_dict`` form) and the
+    #: run's flight-recorder ring, when the backend keeps one.  Both
+    #: are observation, not behaviour: they stay out of the
+    #: fingerprint so attaching them can never perturb the
+    #: determinism contract.
+    metrics: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    flight_recorder: Optional[Any] = field(default=None, repr=False)
 
     @property
     def verdict(self) -> bool:
@@ -201,6 +215,12 @@ class ScenarioResult:
         if self.transcript is not None:
             lines.append(
                 f"  transcript: {len(self.transcript.splitlines()):,} trace events"
+            )
+        if self.flight_recorder is not None:
+            ring = self.flight_recorder
+            lines.append(
+                f"  flight recorder: {len(ring):,} of {ring.total:,} "
+                f"events retained"
             )
         return "\n".join(lines)
 
@@ -338,13 +358,16 @@ def run_scenario(
     seed: Optional[int] = None,
     ops: Optional[int] = None,
     capture_trace: Optional[bool] = None,
+    flight_recorder: Optional[bool] = None,
 ) -> ScenarioResult:
     """Execute ``scenario`` and return its result.
 
     ``protocol``, ``seed``, ``ops`` and ``capture_trace`` override the
-    scenario's defaults; everything else is the spec's business.  Two
-    calls with equal arguments produce equal
-    :meth:`ScenarioResult.fingerprint` values.
+    scenario's defaults; ``flight_recorder=False`` switches the
+    always-on trace ring off (the default leaves the backend's choice
+    alone); everything else is the spec's business.  Two calls with
+    equal arguments produce equal :meth:`ScenarioResult.fingerprint`
+    values -- the ring and metrics are passive observers.
     """
     protocol = protocol or scenario.default_protocol
     seed = scenario.default_seed if seed is None else seed
@@ -355,7 +378,9 @@ def run_scenario(
     criterion = "transient" if protocol == "transient" else "persistent"
 
     started = time.perf_counter()
-    result = _run(scenario, protocol, seed, ops, capture, criterion)
+    result = _run(
+        scenario, protocol, seed, ops, capture, criterion, flight_recorder
+    )
     result.wall_s = time.perf_counter() - started
     result.check_wall_s = sum(check.wall_s for check in result.checks)
     return result
@@ -389,6 +414,7 @@ def _run(
     ops: int,
     capture: bool,
     criterion: str,
+    flight_recorder: Optional[bool] = None,
 ) -> ScenarioResult:
     """Drive ``scenario`` against the façade cluster its spec maps to.
 
@@ -398,13 +424,16 @@ def _run(
     left -- which closed-loop workload shape to run -- keys off the
     ``sharding`` capability, not the cluster's type.
     """
+    options = dict(scenario.backend_options())
+    if flight_recorder is not None:
+        options["flight_recorder"] = flight_recorder
     cluster = open_cluster(
         backend=scenario.backend,
         protocol=protocol,
         num_processes=scenario.num_processes,
         seed=seed,
         capture_trace=capture,
-        **scenario.backend_options(),
+        **options,
     )
     cluster.start()
     result = ScenarioResult(
@@ -493,12 +522,25 @@ def _run(
     def check_fn(phase_name: str) -> CheckOutcome:
         return _check(cluster, criterion, phase_name, scenario.check_method)
 
+    drive = run_kv_phase if sharded else run_register_phase
+
+    def run_phase_metered(
+        phase: WorkloadPhase, phase_ops: int, index: int
+    ) -> PhaseOutcome:
+        # Bracket the phase with registry snapshots: the diff is what
+        # the phase itself cost.  Snapshotting only samples gauges and
+        # copies counters -- no kernel events, no randomness.
+        before = cluster.metrics()
+        outcome = drive(phase, phase_ops, index)
+        outcome.metrics = cluster.metrics().diff(before).as_dict()
+        return outcome
+
     _drive_phases(
         result,
         scenario,
         recovery,
         cluster,
-        run_kv_phase if sharded else run_register_phase,
+        run_phase_metered,
         check_fn,
         prepare_phase=prepare_phase if sharded else None,
     )
@@ -516,5 +558,7 @@ def _finalize(result: ScenarioResult, cluster: Cluster, capture: bool) -> None:
     result.stores_completed = stats.stores_completed
     result.crashes = stats.crashes
     result.recoveries = stats.recoveries
+    result.metrics = cluster.metrics().as_dict()
+    result.flight_recorder = getattr(cluster, "flight_recorder", None)
     if capture:
         result.transcript = _normalize_transcript(cluster.transcript() or [])

@@ -247,7 +247,7 @@ class SimNetwork:
                 )
             )
         else:
-            trace.tick(tracing.SEND)
+            trace.tick(tracing.SEND, self._kernel.now, src, message.op)
         if self._blocked_links and (src, dst) in self._blocked_links:
             self._drop(src, dst, message, reason="partition")
             return
@@ -278,7 +278,9 @@ class SimNetwork:
                     )
                 )
             else:
-                trace.tick(tracing.DUPLICATE)
+                trace.tick(
+                    tracing.DUPLICATE, self._kernel.now, src, message.op
+                )
             self._schedule_delivery(src, dst, message, depth)
 
     def broadcast(self, src: ProcessId, message: Message, depth: int) -> None:
@@ -331,7 +333,12 @@ class SimNetwork:
                 )
             )
         else:
-            trace.tick(tracing.DELIVER)
+            trace.tick(
+                tracing.DELIVER,
+                self._kernel.now,
+                envelope.dst,
+                envelope.message.op,
+            )
         handler(envelope)
 
     def _drop(
@@ -349,4 +356,4 @@ class SimNetwork:
                 )
             )
         else:
-            trace.tick(tracing.DROP)
+            trace.tick(tracing.DROP, self._kernel.now, src, message.op)

@@ -314,7 +314,7 @@ class SimNode:
                 TraceEvent(time=self._kernel.now, kind=tracing.CRASH, pid=self.pid)
             )
         else:
-            self._trace.tick(tracing.CRASH)
+            self._trace.tick(tracing.CRASH, self._kernel.now, self.pid)
 
     def recover(self) -> None:
         """Restart the process and run every slot's recovery procedure."""
@@ -327,7 +327,7 @@ class SimNode:
                 TraceEvent(time=self._kernel.now, kind=tracing.RECOVER, pid=self.pid)
             )
         else:
-            self._trace.tick(tracing.RECOVER)
+            self._trace.tick(tracing.RECOVER, self._kernel.now, self.pid)
         for slot in list(self._slots.values()):
             if not slot.booted:
                 # Provisioned while the node was down: first boot now.
@@ -398,7 +398,7 @@ class SimNode:
                 )
             )
         else:
-            trace.tick(tracing.INVOKE)
+            trace.tick(tracing.INVOKE, self._kernel.now, self.pid, op)
         self._depths.observe(op, 0)
         if kind == "read":
             effects = slot.protocol.invoke_read(op)
@@ -474,7 +474,7 @@ class SimNode:
                 )
             )
         else:
-            trace.tick(tracing.TIMER)
+            trace.tick(tracing.TIMER, self._kernel.now, self.pid, op)
         effects = slot.protocol.on_timer(token)
         self._execute(effects, depth=depth, op=op, slot=slot)
 
@@ -537,7 +537,9 @@ class SimNode:
                         )
                     )
                 else:
-                    self._trace.tick(tracing.RECOVERY_DONE)
+                    self._trace.tick(
+                        tracing.RECOVERY_DONE, self._kernel.now, self.pid
+                    )
             else:
                 raise ProtocolError(f"unknown effect {type(effect).__name__}")
 
@@ -678,5 +680,5 @@ class SimNode:
                 )
             )
         else:
-            trace.tick(tracing.REPLY)
+            trace.tick(tracing.REPLY, self._kernel.now, self.pid, effect.op)
         handle._settle()

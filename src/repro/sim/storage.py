@@ -91,7 +91,7 @@ class SimStableStorage:
                 )
             )
         else:
-            trace.tick(tracing.STORE_BEGIN)
+            trace.tick(tracing.STORE_BEGIN, now, self._pid, op)
         handle = self._kernel.schedule_cancellable(
             done_at - now,
             self._complete, store_id, key, record, size, on_durable, epoch, op,
@@ -125,7 +125,7 @@ class SimStableStorage:
                 )
             )
         else:
-            trace.tick(tracing.STORE_END)
+            trace.tick(tracing.STORE_END, self._kernel.now, self._pid, op)
         on_durable()
 
     def crash(self) -> None:

@@ -27,12 +27,24 @@ kind, or when a listener subscribed to that kind specifically.
 metrics layer sees identical numbers with tracing on or off.
 :data:`NULL_TRACE` is a module-level sink for components run without
 any trace at all; it wants nothing and refuses listeners.
+
+Flight recorder.  Independently of capture, every trace feeds a
+bounded :class:`repro.obs.ring.RingTrace` of ``(time, kind-id, pid,
+op)`` codes -- cheap enough to leave always on, so the tail of any run
+is reconstructable after a crash without re-running with capture
+enabled.  :meth:`Trace.tick` therefore accepts the event coordinates
+as optional positional arguments; emitters pass them on both the fast
+and slow paths.  Recording never schedules kernel events or consumes
+randomness, so seeded runs are byte-identical with the ring on or off
+(``Trace(flight_recorder=False)`` disables it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence
+
+from repro.obs.ring import DEFAULT_CAPACITY, RingTrace
 
 # Event kinds, kept as plain strings for cheap filtering.
 SEND = "send"
@@ -62,6 +74,9 @@ ALL_KINDS = (
     RECOVERY_DONE,
     TIMER,
 )
+
+#: kind name -> ring code, the binary encoding of the flight recorder.
+KIND_IDS = {kind: code for code, kind in enumerate(ALL_KINDS)}
 
 
 @dataclass(frozen=True)
@@ -94,8 +109,18 @@ class Trace:
     wants (see the module docstring).
     """
 
-    def __init__(self, capture: bool = True):
+    def __init__(
+        self,
+        capture: bool = True,
+        flight_recorder: bool = True,
+        ring_capacity: int = DEFAULT_CAPACITY,
+    ):
         self._capture = capture
+        self._ring: Optional[RingTrace] = (
+            RingTrace(capacity=ring_capacity, kinds=ALL_KINDS)
+            if flight_recorder
+            else None
+        )
         self._events: List[TraceEvent] = []
         #: Listeners for every kind, in subscription order.
         self._all_listeners: List[Listener] = []
@@ -112,20 +137,46 @@ class Trace:
         """Whether emitted events are retained in :attr:`events`."""
         return self._capture
 
+    @property
+    def ring(self) -> Optional[RingTrace]:
+        """The flight recorder, or ``None`` when disabled."""
+        return self._ring
+
     def wants(self, kind: str) -> bool:
         """Whether an emitter must build a real event for ``kind``."""
         wanted = self._wanted
         return True if wanted is None else kind in wanted
 
-    def tick(self, kind: str) -> None:
+    def tick(
+        self, kind: str, time: float = 0.0, pid: int = -1, op: Any = None
+    ) -> None:
         """Count one ``kind`` occurrence without building an event.
 
         The allocation-free sibling of :meth:`emit`, used by emitters
         when :meth:`wants` says nobody would see the event.  Keeps
-        :meth:`count` exact with tracing off.
+        :meth:`count` exact with tracing off, and feeds the flight
+        recorder the same ``(time, kind, pid, op)`` coordinates a full
+        event would carry.
         """
         counts = self._counts
         counts[kind] = counts.get(kind, 0) + 1
+        ring = self._ring
+        if ring is not None:
+            # RingTrace.record, inlined: this is the single hottest
+            # telemetry line in the simulator (once per kernel event),
+            # and skipping the method call keeps the always-on ring
+            # within its overhead budget (see BENCH_trace.json).
+            index = ring.next_index
+            ring.times[index] = time
+            ring.codes[index] = KIND_IDS[kind]
+            ring.pids[index] = pid
+            ring.ops[index] = op
+            index += 1
+            if index == ring.capacity:
+                ring.next_index = 0
+                ring.wraps += 1
+            else:
+                ring.next_index = index
 
     def emit(self, event: TraceEvent) -> None:
         """Record ``event`` and notify listeners."""
@@ -134,6 +185,11 @@ class Trace:
             self._events.append(event)
         counts = self._counts
         counts[kind] = counts.get(kind, 0) + 1
+        ring = self._ring
+        if ring is not None:
+            ring.record(
+                event.time, KIND_IDS[kind], event.pid, event.detail.get("op")
+            )
         if self._all_listeners:
             for listener in list(self._all_listeners):
                 listener(event)
@@ -227,11 +283,12 @@ class NullTrace(Trace):
     listeners, so its fast path can never be deactivated.  Counts are
     dropped too: on a process-wide singleton they would aggregate
     unrelated runs, so keeping them would only cost dict work on the
-    hot path to produce a meaningless number.
+    hot path to produce a meaningless number.  The flight recorder is
+    off for the same reason.
     """
 
     def __init__(self):
-        super().__init__(capture=False)
+        super().__init__(capture=False, flight_recorder=False)
 
     def subscribe(
         self, listener: Listener, kinds: Optional[Sequence[str]] = None
@@ -241,7 +298,9 @@ class NullTrace(Trace):
             "to observe a run without capturing it"
         )
 
-    def tick(self, kind: str) -> None:
+    def tick(
+        self, kind: str, time: float = 0.0, pid: int = -1, op: Any = None
+    ) -> None:
         pass
 
     def emit(self, event: TraceEvent) -> None:  # pragma: no cover - safety net

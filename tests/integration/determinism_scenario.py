@@ -36,8 +36,12 @@ PROTOCOLS = ("crash-stop", "transient", "persistent", "persistent-fastread")
 _OPID = re.compile(r"p(\d+)#(\d+)")
 
 
-def run_scenario(protocol: str) -> str:
-    """Run the fixed-seed scenario and return its serialized transcript."""
+def run_scenario(protocol: str, flight_recorder: bool = True) -> str:
+    """Run the fixed-seed scenario and return its serialized transcript.
+
+    ``flight_recorder`` toggles the always-on trace ring; the goldens
+    must match either way (recording is passive observation).
+    """
     config = ClusterConfig(
         num_processes=3,
         network=NetworkConfig(
@@ -48,7 +52,12 @@ def run_scenario(protocol: str) -> str:
         storage=StorageConfig(max_jitter=10e-6),
         seed=1234,
     )
-    cluster = SimCluster(protocol=protocol, config=config, capture_trace=True)
+    cluster = SimCluster(
+        protocol=protocol,
+        config=config,
+        capture_trace=True,
+        flight_recorder=flight_recorder,
+    )
     cluster.start()
     if protocol != "crash-stop":
         cluster.install_schedule(CrashSchedule().downtime(2, 0.004, 0.009))

@@ -19,7 +19,8 @@ def examples_on_path(monkeypatch):
     monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
     yield
     for name in ("quickstart", "crash_recovery_kv", "atomicity_semantics",
-                 "live_udp_cluster", "fault_scenarios", "unified_api"):
+                 "live_udp_cluster", "fault_scenarios", "unified_api",
+                 "telemetry_tour"):
         sys.modules.pop(name, None)
 
 
@@ -64,6 +65,17 @@ def test_unified_api_runs(capsys):
     for backend in ("sim", "kv", "live"):
         assert backend in out
     assert out.count("ok") == 3
+
+
+def test_telemetry_tour_runs(capsys):
+    module = importlib.import_module("telemetry_tour")
+    module.OPS = 100  # keep the scenario leg quick in CI
+    module.main()
+    out = capsys.readouterr().out
+    assert "tour.crashes_seen = 1" in out
+    assert "flight recorder:" in out
+    assert "chrome trace:" in out
+    assert "verdict PASS" in out
 
 
 def test_live_udp_cluster_runs(capsys):

@@ -45,6 +45,7 @@ EXPORTED_NAMES = [
     "DEFAULT_KEY",
     "KVBackend",
     "LiveBackend",
+    "MetricsSnapshot",
     "OpHandle",
     "SHARDING",
     "Session",
@@ -83,6 +84,7 @@ EXPECTED_SIGNATURES = {
     "timeout: 'float' = 10.0) -> 'None'",
     "Cluster.defer": "(self, delay: 'float', fn: 'Callable', "
     "*args: 'Any') -> 'None'",
+    "Cluster.metrics": "(self) -> 'MetricsSnapshot'",
     "Session.write": "(self, value: 'Any', key: 'Optional[str]' = None) "
     "-> 'OpHandle'",
     "Session.read": "(self, key: 'Optional[str]' = None) -> 'OpHandle'",

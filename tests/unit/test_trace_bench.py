@@ -1,0 +1,100 @@
+"""Unit tests for the ``repro trace-bench`` harness (no soak runs).
+
+The measurement itself is exercised end to end by CI's bench-smoke
+job; here we pin the cheap, deterministic parts -- the report shape
+for a tiny scenario, the file writer, and the table renderer over a
+synthetic report.
+"""
+
+import json
+
+from repro.experiments.bench import SCHEMA
+from repro.experiments.trace_bench import (
+    MODES,
+    RING_BUDGET_PCT,
+    TRACE_FILE,
+    format_trace_bench,
+    run_trace_bench,
+    write_trace_file,
+)
+
+
+def _synthetic_report():
+    def stats(best):
+        return {
+            "count": 2, "best_s": best, "mean_s": best + 0.1,
+            "p50_s": best + 0.1, "p99_s": best + 0.2, "worst_s": best + 0.2,
+        }
+
+    return {
+        "schema": SCHEMA,
+        "suite": "trace",
+        "quick": False,
+        "python": "3.11.0",
+        "scenario": "soak-100k",
+        "ops": 100_000,
+        "repeats": 3,
+        "modes": {
+            "trace-off": {
+                "wall": stats(40.0), "run": stats(37.0), "completed": 100_000,
+                "verdict": True, "flight_recorded": None,
+                "transcript_events": None,
+            },
+            "ring-on": {
+                "wall": stats(40.5), "run": stats(37.4), "completed": 100_000,
+                "verdict": True, "flight_recorded": 4_633_015,
+                "transcript_events": None,
+            },
+            "full-trace": {
+                "wall": stats(55.0), "run": stats(52.0), "completed": 100_000,
+                "verdict": True, "flight_recorded": 4_633_015,
+                "transcript_events": 4_633_015,
+            },
+        },
+        "overhead_pct": {
+            "ring-on": 37.4 / 37.0 * 100 - 100,
+            "full-trace": 52.0 / 37.0 * 100 - 100,
+        },
+        "ring_budget_pct": RING_BUDGET_PCT,
+        "fingerprints_identical": True,
+    }
+
+
+def test_format_renders_all_modes():
+    text = format_trace_bench(_synthetic_report())
+    assert "trace-off" in text and "baseline" in text
+    assert "ring-on" in text and "+1.1%" in text
+    assert "full-trace" in text and "+40.5%" in text
+    assert "4,633,015" in text
+    assert "fingerprints identical across modes" in text
+    assert text.count("PASS") == 3
+
+
+def test_format_flags_divergence():
+    report = _synthetic_report()
+    report["fingerprints_identical"] = False
+    assert "DIVERGED" in format_trace_bench(report)
+
+
+def test_write_trace_file(tmp_path):
+    path = write_trace_file(_synthetic_report(), output_dir=str(tmp_path))
+    assert path.endswith(TRACE_FILE)
+    payload = json.loads((tmp_path / TRACE_FILE).read_text())
+    assert payload["schema"] == SCHEMA
+    assert set(payload["modes"]) == {name for name, _ in MODES}
+
+
+def test_run_trace_bench_tiny():
+    # A real (but tiny) A/B over a short scenario: the report must be
+    # internally consistent and the three fingerprints identical.
+    report = run_trace_bench(
+        ops=120, repeats=1, seed=3, scenario="crash-during-write"
+    )
+    assert report["quick"] is False
+    assert report["fingerprints_identical"] is True
+    assert report["modes"]["trace-off"]["flight_recorded"] is None
+    assert report["modes"]["ring-on"]["flight_recorded"] > 0
+    assert report["modes"]["full-trace"]["transcript_events"] > 0
+    assert set(report["overhead_pct"]) == {"ring-on", "full-trace"}
+    text = format_trace_bench(report)
+    assert "120 ops" in text

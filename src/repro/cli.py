@@ -13,6 +13,9 @@ Usage::
     python -m repro bench [--quick]
     python -m repro soak --list
     python -m repro soak soak-100k --seed 7
+    python -m repro soak --quick --workers 2
+    python -m repro fleet --scenarios soak-100k --seeds 0..9 --workers 8
+    python -m repro fleet --quick --seeds 0..1 --workers 2
     python -m repro trace crash-during-write --format chrome
     python -m repro stats soak-100k --quick
     python -m repro trace-bench [--quick]
@@ -240,19 +243,26 @@ def _cmd_soak(args: argparse.Namespace) -> str:
     if scenario is None:
         # Bare ``repro soak`` (and ``repro all``) smoke the whole
         # library at quick budgets; ``--ops`` sets one explicit budget
-        # for every scenario instead.
+        # for every scenario instead.  ``--workers N`` shards the
+        # sweep across a process pool (same results, same order).
         ops = getattr(args, "ops", None)
+        workers = getattr(args, "workers", None)
         results = run_soak_suite(
             protocol=getattr(args, "protocol", None),
             seed=getattr(args, "seed", None),
             ops=ops,
+            workers=workers,
         )
         path = write_soak_file(results, output_dir, quick=ops is None)
         budgets = (
             f"{ops}-op budgets" if ops is not None else "quick smoke budgets"
         )
+        sharding = (
+            f"; {workers} workers" if workers is not None and workers > 1
+            else ""
+        )
         return (
-            f"Scenario suite ({budgets}; see docs/scenarios.md)\n\n"
+            f"Scenario suite ({budgets}{sharding}; see docs/scenarios.md)\n\n"
             + format_soak_results(results)
             + f"\n\nwrote {path}"
         )
@@ -268,6 +278,104 @@ def _cmd_soak(args: argparse.Namespace) -> str:
     # trimmed; an explicit --ops overrides --quick in run_soak.
     path = write_soak_file([result], output_dir, quick=quick and ops is None)
     return result.summary() + f"\n\nwrote {path}"
+
+
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    import sys as _sys
+
+    from repro.scenarios.fleet import (
+        build_fleet_specs,
+        parse_int_list,
+        run_fleet,
+        run_scaling,
+    )
+    from repro.scenarios.soak import format_soak_results, write_soak_file
+
+    scenarios = (
+        [name for name in args.scenarios.split(",") if name]
+        if getattr(args, "scenarios", None)
+        else None
+    )
+    if getattr(args, "seeds", None):
+        seeds = parse_int_list(args.seeds, "seed")
+    elif getattr(args, "seed", None) is not None:
+        seeds = [args.seed]
+    else:
+        seeds = [None]
+    protocols = (
+        [name for name in args.protocols.split(",") if name]
+        if getattr(args, "protocols", None)
+        else None
+    )
+    specs = build_fleet_specs(
+        scenarios=scenarios,
+        seeds=seeds,
+        protocols=protocols,
+        ops=getattr(args, "ops", None),
+        quick=getattr(args, "quick", False),
+    )
+
+    def stream(finished: int, total: int, spec, result) -> None:
+        # Stream completions as they land (stderr: the composed report
+        # still goes to stdout at the end, in stable spec order).
+        print(
+            f"[{finished}/{total}] {spec.label()}: "
+            f"{'PASS' if result.verdict else 'FAIL'} "
+            f"({result.completed} ops, {result.wall_s:.2f}s)",
+            file=_sys.stderr,
+            flush=True,
+        )
+
+    kwargs = dict(
+        parity=getattr(args, "parity", "canary"),
+        timeout=getattr(args, "timeout", None),
+        on_result=stream,
+    )
+    scaling_rows = None
+    scaling_text = ""
+    if getattr(args, "scaling", None):
+        counts = parse_int_list(args.scaling, "worker count")
+        reports, scaling_rows = run_scaling(specs, counts, **kwargs)
+        report = reports[-1]
+        header = (
+            f"{'workers':>7}  {'wall':>9}  {'ops/s':>12}  "
+            f"{'speedup':>8}  {'efficiency':>10}  verdict"
+        )
+        scaling_text = "\n".join(
+            [
+                "",
+                f"scaling ({len(specs)} runs per point; baseline "
+                f"workers={counts[0]}):",
+                header,
+                "-" * len(header),
+            ]
+            + [
+                f"{row['workers']:>7}  {row['wall_s']:>8.2f}s  "
+                f"{row['ops_per_s']:>10,.0f}/s  "
+                f"{row['speedup_vs_baseline']:>7.2f}x  "
+                f"{row['efficiency']:>9.1%}  "
+                f"{'PASS' if row['verdict'] else 'FAIL'}"
+                for row in scaling_rows
+            ]
+        )
+    else:
+        report = run_fleet(specs, workers=getattr(args, "workers", None),
+                           **kwargs)
+    path = write_soak_file(
+        report.results,
+        getattr(args, "output_dir", "."),
+        quick=getattr(args, "quick", False),
+        fleet=report.as_dict(),
+        scaling=scaling_rows,
+    )
+    return (
+        f"Scenario fleet ({len(specs)} runs; see docs/scenarios.md)\n\n"
+        + format_soak_results(report.results)
+        + "\n\n"
+        + report.summary()
+        + scaling_text
+        + f"\n\nwrote {path}"
+    )
 
 
 def _run_named_soak(args: argparse.Namespace, scenario: str):
@@ -407,16 +515,18 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "kv-bench": _cmd_kv_bench,
     "bench": _cmd_bench,
     "soak": _cmd_soak,
+    "fleet": _cmd_fleet,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "trace-bench": _cmd_trace_bench,
 }
 
 #: Subcommands ``repro all`` skips: the flight-recorder diagnostics
-#: want an explicit scenario, and the trace-overhead A/B takes minutes
-#: at its full budget -- run them deliberately (``repro trace`` /
-#: ``repro stats`` / ``repro trace-bench``).
-SKIPPED_BY_ALL = frozenset({"trace", "stats", "trace-bench"})
+#: want an explicit scenario, the trace-overhead A/B takes minutes at
+#: its full budget, and the fleet spawns a process pool sized to the
+#: machine -- run them deliberately (``repro trace`` / ``repro stats``
+#: / ``repro trace-bench`` / ``repro fleet``).
+SKIPPED_BY_ALL = frozenset({"trace", "stats", "trace-bench", "fleet"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -467,8 +577,72 @@ def build_parser() -> argparse.ArgumentParser:
                 help="override the scenario's default register protocol",
             )
             sub.add_argument(
+                "--workers", type=int, default=None,
+                help="shard the whole-suite sweep across N pool workers "
+                "(ignored when a single scenario is named; results and "
+                "fingerprints match the serial path)",
+            )
+            sub.add_argument(
                 "--output-dir", dest="output_dir", default=".",
                 help="directory for BENCH_soak.json (default: current directory)",
+            )
+            continue
+        if name == "fleet":
+            sub = subparsers.add_parser(
+                name,
+                parents=[common],
+                help="sweep seeds x scenarios x protocols across a "
+                "process pool (see docs/scenarios.md)",
+            )
+            sub.add_argument(
+                "--scenarios", default=None,
+                help="comma-separated scenario names (default: the whole "
+                "library; see repro soak --list)",
+            )
+            sub.add_argument(
+                "--seeds", default=None,
+                help="seed sweep, e.g. 0..9 or 0,3,7 (default: --seed, "
+                "else each scenario's default seed)",
+            )
+            sub.add_argument(
+                "--protocols", default=None,
+                help="comma-separated protocols to cross with every "
+                "scenario (default: each scenario's default)",
+            )
+            sub.add_argument(
+                "--ops", type=int, default=None,
+                help="operation budget per run (default: scenario "
+                "defaults, or smoke budgets with --quick)",
+            )
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="trim every run to its CI smoke budget",
+            )
+            sub.add_argument(
+                "--workers", type=int, default=None,
+                help="pool size (default: the machine's core count)",
+            )
+            sub.add_argument(
+                "--scaling", default=None,
+                help="run the same fleet at several worker counts, e.g. "
+                "1,2,4,8, and report speedup/efficiency per point",
+            )
+            sub.add_argument(
+                "--parity", choices=("canary", "full", "off"),
+                default="canary",
+                help="serial re-execution to assert pool fingerprints "
+                "byte-identical: one trimmed canary (default), every "
+                "run, or off",
+            )
+            sub.add_argument(
+                "--timeout", type=float, default=None,
+                help="hard wall-clock deadline in seconds for the whole "
+                "fleet (a deadlocked pool fails fast instead of hanging)",
+            )
+            sub.add_argument(
+                "--output-dir", dest="output_dir", default=".",
+                help="directory for BENCH_soak.json (default: current "
+                "directory)",
             )
             continue
         if name in ("trace", "stats"):

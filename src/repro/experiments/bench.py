@@ -33,7 +33,30 @@ from repro.metrics import WallClockStats
 #: Schema tag written into every file; bump on layout changes.
 #: v2: the checker suite moved to its own ``BENCH_checker.json`` and
 #: gained the 1k/10k-operation white-box soak points.
-SCHEMA = "repro-bench/2"
+#: v3: ``BENCH_soak.json`` gained explicit per-row ``ops_per_s``, a
+#: ``totals`` block, and the ``fleet`` key (process-pool sweeps with
+#: merged metrics and scaling rows).  Purely additive -- v2 readers
+#: keep working on every key they ever read -- so readers accept both.
+SCHEMA = "repro-bench/3"
+SUPPORTED_SCHEMAS = ("repro-bench/2", "repro-bench/3")
+
+
+def load_bench_payload(path: Any) -> Dict[str, Any]:
+    """Read one ``BENCH_*.json`` file, accepting any supported schema.
+
+    The back-compat contract for trajectory files: the current writer
+    stamps :data:`SCHEMA`, readers accept everything in
+    :data:`SUPPORTED_SCHEMAS` and treat newer additive keys (v3's
+    ``fleet``/``totals``) as optional.
+    """
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"unsupported bench schema {schema!r} in {path} "
+            f"(supported: {SUPPORTED_SCHEMAS})"
+        )
+    return payload
 
 ENGINE_PROTOCOLS = ("crash-stop", "transient", "persistent")
 ENGINE_OPERATIONS = 100

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
+    merge_snapshots,
 )
 from repro.obs.ring import DEFAULT_CAPACITY, RingEvent, RingTrace
 from repro.obs.summary import LatencyStats, WallClockStats, percentile
@@ -43,5 +44,6 @@ __all__ = [
     "RingEvent",
     "RingTrace",
     "WallClockStats",
+    "merge_snapshots",
     "percentile",
 ]

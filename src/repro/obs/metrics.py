@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from math import fsum
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.summary import percentile  # noqa: F401  (shared convention)
 
@@ -219,6 +220,33 @@ class HistogramSnapshot:
             "p99": self.quantile(99.0),
         }
 
+    def to_wire(self) -> Dict[str, Any]:
+        """A lossless JSON-able form (unlike the ``as_dict`` summary).
+
+        ``as_dict`` reduces the histogram to estimated quantiles;
+        ``to_wire`` keeps the exact bucket counts so a snapshot can
+        cross a process or file boundary and still :meth:`merge`.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "HistogramSnapshot":
+        return cls(
+            bounds=tuple(wire["bounds"]),
+            counts=tuple(wire["counts"]),
+            total=wire["total"],
+            sum=wire["sum"],
+            minimum=wire["min"],
+            maximum=wire["max"],
+        )
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
@@ -268,6 +296,33 @@ class MetricsSnapshot:
             },
         }
 
+    def to_wire(self) -> Dict[str, Any]:
+        """A lossless JSON-able form for crossing process boundaries.
+
+        Unlike :meth:`as_dict` (a human/benchmark summary with
+        estimated quantiles), the wire form round-trips through
+        :meth:`from_wire` without losing histogram bucket counts, so
+        fleet workers can ship snapshots home as plain data and the
+        parent can still :meth:`merge` them exactly.
+        """
+        return {
+            "scalars": {k: self.scalars[k] for k in sorted(self.scalars)},
+            "histograms": {
+                k: self.histograms[k].to_wire()
+                for k in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            scalars=dict(wire.get("scalars", {})),
+            histograms={
+                name: HistogramSnapshot.from_wire(h)
+                for name, h in wire.get("histograms", {}).items()
+            },
+        )
+
     def format(self, limit: Optional[int] = None) -> str:
         """An aligned text table, largest scalars first (CLI output)."""
         rows = sorted(
@@ -295,6 +350,54 @@ class MetricsSnapshot:
                 f"max={summary['max'] * 1e6:.1f}us"
             )
         return "\n".join(lines)
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Merge independent snapshots into one, insensitive to order.
+
+    Pairwise :meth:`MetricsSnapshot.merge` is associative over counter
+    values but accumulates float rounding in fold order; this helper
+    sums every scalar and histogram ``sum`` with :func:`math.fsum`
+    (exact accumulation, rounded once), so **any** permutation of the
+    same snapshots produces the bit-identical merged snapshot.  That is
+    the contract fleet aggregation relies on: per-run results land in
+    completion order, which varies run to run, and the merged report
+    must not.
+    """
+    snapshots = list(snapshots)
+    scalar_parts: Dict[str, List[float]] = {}
+    hist_parts: Dict[str, List[HistogramSnapshot]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.scalars.items():
+            scalar_parts.setdefault(name, []).append(value)
+        for name, hist in snapshot.histograms.items():
+            hist_parts.setdefault(name, []).append(hist)
+    histograms: Dict[str, HistogramSnapshot] = {}
+    for name, parts in hist_parts.items():
+        bounds = parts[0].bounds
+        if any(part.bounds != bounds for part in parts[1:]):
+            raise ValueError(
+                f"cannot merge histogram {name!r}: bucket bounds differ"
+            )
+        extremes = [p.minimum for p in parts if p.minimum is not None]
+        peaks = [p.maximum for p in parts if p.maximum is not None]
+        histograms[name] = HistogramSnapshot(
+            bounds=bounds,
+            counts=tuple(
+                sum(part.counts[i] for part in parts)
+                for i in range(len(bounds) + 1)
+            ),
+            total=sum(part.total for part in parts),
+            sum=fsum(part.sum for part in parts),
+            minimum=min(extremes) if extremes else None,
+            maximum=max(peaks) if peaks else None,
+        )
+    return MetricsSnapshot(
+        scalars={
+            name: fsum(parts) for name, parts in scalar_parts.items()
+        },
+        histograms=histograms,
+    )
 
 
 class MetricsRegistry:

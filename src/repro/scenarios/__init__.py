@@ -22,7 +22,12 @@ whose ``fingerprint()`` is identical across same-seed runs;
 :data:`~repro.scenarios.library.SCENARIOS` is the named library
 (steady-state through the 100k-operation soak) behind the
 ``repro soak`` CLI; :mod:`repro.scenarios.soak` writes the
-``BENCH_soak.json`` trajectory point.
+``BENCH_soak.json`` trajectory point; and
+:func:`~repro.scenarios.fleet.run_fleet` (``repro fleet``) shards a
+seeds x scenarios x protocols sweep across a spawn-safe process pool
+(:mod:`repro.scenarios.pool`), merging the runs into one
+:class:`~repro.scenarios.fleet.FleetReport` whose per-run fingerprints
+are asserted byte-identical to the serial path.
 
 Quickstart::
 
@@ -43,7 +48,16 @@ from repro.scenarios.faults import (
     RollingRestarts,
     SlowLinks,
 )
+from repro.scenarios.fleet import (
+    FleetParityError,
+    FleetReport,
+    FleetTimeoutError,
+    build_fleet_specs,
+    run_fleet,
+    run_scaling,
+)
 from repro.scenarios.library import SCENARIOS, get_scenario, list_scenarios
+from repro.scenarios.pool import RunSpec, execute_spec, resolve_spec
 from repro.scenarios.runner import (
     CheckOutcome,
     PhaseOutcome,
@@ -59,15 +73,24 @@ __all__ = [
     "CrashOnTrace",
     "Downtime",
     "FaultAction",
+    "FleetParityError",
+    "FleetReport",
+    "FleetTimeoutError",
     "LossBurst",
     "PartitionWindow",
     "PhaseOutcome",
     "RollingRestarts",
+    "RunSpec",
     "Scenario",
     "ScenarioResult",
     "SlowLinks",
     "WorkloadPhase",
+    "build_fleet_specs",
+    "execute_spec",
     "get_scenario",
     "list_scenarios",
+    "resolve_spec",
+    "run_fleet",
+    "run_scaling",
     "run_scenario",
 ]

@@ -149,6 +149,11 @@ class ScenarioResult:
     #: determinism contract.
     metrics: Optional[Dict[str, Any]] = field(default=None, repr=False)
     flight_recorder: Optional[Any] = field(default=None, repr=False)
+    #: The final snapshot as a live :class:`~repro.obs.metrics
+    #: .MetricsSnapshot` (exact bucket counts, picklable) -- the form
+    #: fleet aggregation merges.  ``metrics`` above is its lossy
+    #: ``as_dict`` summary; both stay out of the fingerprint.
+    metrics_snapshot: Optional[Any] = field(default=None, repr=False)
 
     @property
     def verdict(self) -> bool:
@@ -558,7 +563,9 @@ def _finalize(result: ScenarioResult, cluster: Cluster, capture: bool) -> None:
     result.stores_completed = stats.stores_completed
     result.crashes = stats.crashes
     result.recoveries = stats.recoveries
-    result.metrics = cluster.metrics().as_dict()
+    snapshot = cluster.metrics()
+    result.metrics = snapshot.as_dict()
+    result.metrics_snapshot = snapshot
     result.flight_recorder = getattr(cluster, "flight_recorder", None)
     if capture:
         result.transcript = _normalize_transcript(cluster.transcript() or [])

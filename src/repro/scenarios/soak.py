@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.experiments.bench import SCHEMA
 from repro.scenarios.library import get_scenario, list_scenarios
 from repro.scenarios.runner import ScenarioResult, run_scenario
-from repro.scenarios.spec import Scenario
+from repro.scenarios.spec import STORE_KV, Scenario
 
 #: Operation budget per scenario under ``--quick`` (CI smoke sizing).
 QUICK_OPS = 150
@@ -52,13 +52,29 @@ def run_soak_suite(
     seed: Optional[int] = None,
     quick: bool = True,
     ops: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[ScenarioResult]:
     """Run every library scenario.
 
     An explicit ``ops`` budget applies to every scenario and overrides
     ``quick``; otherwise ``quick`` trims each scenario to its CI smoke
     size and ``quick=False`` runs the full default budgets.
+
+    ``workers`` > 1 shards the sweep across a process pool (results
+    stay in library order and fingerprints stay byte-identical to this
+    serial path -- the fleet driver asserts it); the default runs
+    in-process exactly as before.
     """
+    if workers is not None and workers > 1:
+        from repro.scenarios.fleet import build_fleet_specs, run_fleet
+
+        specs = build_fleet_specs(
+            seeds=[seed],
+            protocols=[protocol] if protocol is not None else None,
+            ops=ops,
+            quick=quick and ops is None,
+        )
+        return run_fleet(specs, workers=workers).results
     return [
         run_scenario(
             scenario,
@@ -97,6 +113,12 @@ def soak_row(result: ScenarioResult) -> Dict[str, Any]:
         "recoveries": result.recoveries,
         "wall_s": result.wall_s,
         "check_wall_s": result.check_wall_s,
+        # Explicit wall-clock throughput, so readers of the JSON never
+        # re-derive it (kept alongside the older ``wall_ops_per_sec``
+        # spelling readers of repro-bench/2 files already parse).
+        "ops_per_s": (
+            result.completed / result.wall_s if result.wall_s else 0.0
+        ),
         "wall_ops_per_sec": (
             result.completed / result.wall_s if result.wall_s else 0.0
         ),
@@ -113,17 +135,43 @@ def write_soak_file(
     results: Sequence[ScenarioResult],
     output_dir: str = ".",
     quick: bool = False,
+    fleet: Optional[Dict[str, Any]] = None,
+    scaling: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> str:
-    """Write the ``BENCH_soak.json`` trajectory point; return its path."""
+    """Write the ``BENCH_soak.json`` trajectory point; return its path.
+
+    ``fleet`` (a :meth:`~repro.scenarios.fleet.FleetReport.as_dict`
+    payload) and ``scaling`` (the :func:`~repro.scenarios.fleet
+    .run_scaling` rows) are recorded under the v3 schema's ``fleet``
+    key; serial invocations omit the key entirely, so v2 readers keep
+    working on everything they ever read.
+    """
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
+    rows = [soak_row(result) for result in results]
     payload = {
         "schema": SCHEMA,
         "suite": "soak",
         "quick": quick,
         "python": platform.python_version(),
-        "soak": [soak_row(result) for result in results],
+        "soak": rows,
+        "totals": {
+            "runs": len(rows),
+            "ops": sum(row["ops"] for row in rows),
+            "completed": sum(row["completed"] for row in rows),
+            "wall_s": sum(row["wall_s"] for row in rows),
+            "ops_per_s": (
+                sum(row["completed"] for row in rows)
+                / sum(row["wall_s"] for row in rows)
+                if any(row["wall_s"] for row in rows)
+                else 0.0
+            ),
+        },
     }
+    if fleet is not None:
+        payload["fleet"] = dict(fleet)
+        if scaling is not None:
+            payload["fleet"]["scaling"] = list(scaling)
     path = directory / SOAK_FILE
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return str(path)
@@ -146,23 +194,52 @@ def format_soak_results(results: Sequence[ScenarioResult]) -> str:
     return "\n".join(lines)
 
 
+def scenario_notes(scenario: Scenario) -> str:
+    """Capability notes for the ``--list`` table.
+
+    Fleet sweeps cross scenarios with protocols; these notes say up
+    front what each combination will actually exercise -- crash faults
+    are dropped against protocols without recovery support (the
+    crash-stop baseline), the KV store runs sharded, trace capture is
+    heavyweight -- so a sweep can be planned from the listing alone.
+    """
+    notes = []
+    crashy = any(
+        fault.victims()
+        for phase in scenario.phases
+        for fault in phase.faults
+    )
+    if crashy:
+        notes.append("crash faults dropped on crash-stop")
+    if scenario.store == STORE_KV:
+        notes.append(f"kv store ({scenario.num_shards} shards)")
+    if scenario.capture_trace:
+        notes.append("captures full trace")
+    return "; ".join(notes) if notes else "runs on every protocol"
+
+
 def format_scenario_list() -> str:
     """The ``repro soak --list`` table."""
     header = (
-        f"{'scenario':<20} {'store':<8} {'phases':>6} {'default ops':>11}  "
-        "description"
+        f"{'scenario':<20} {'store':<8} {'phases':>6} {'default ops':>11} "
+        f"{'quick ops':>9}  {'notes':<38}  description"
     )
-    lines = [header, "-" * 100]
+    lines = [header, "-" * 132]
     for scenario in list_scenarios():
         description = " ".join(scenario.description.split())
         lines.append(
             f"{scenario.name:<20} {scenario.store:<8} "
-            f"{len(scenario.phases):>6} {scenario.default_ops:>11}  "
-            f"{description}"
+            f"{len(scenario.phases):>6} {scenario.default_ops:>11} "
+            f"{quick_ops_for(scenario):>9}  "
+            f"{scenario_notes(scenario):<38}  {description}"
         )
     lines.append("")
     lines.append(
         "run one with: python -m repro soak <scenario> "
         "[--seed N] [--ops N] [--protocol P]"
+    )
+    lines.append(
+        "sweep many with: python -m repro fleet --scenarios A,B "
+        "--seeds 0..9 --workers N"
     )
     return "\n".join(lines)

@@ -11,8 +11,10 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
+    merge_snapshots,
 )
 from repro.obs.ring import RingTrace
 from repro.obs.summary import LatencyStats, WallClockStats, percentile
@@ -300,3 +302,113 @@ class TestSnapshotDefaults:
         assert empty.merge(MetricsSnapshot()).histograms == {}
         assert empty.as_dict() == {"scalars": {}, "histograms": {}}
         assert empty.format() == ""
+
+
+def _random_snapshot(rng):
+    """A snapshot with awkward float scalars and a populated histogram."""
+    hist = Histogram("lat")
+    for _ in range(rng.randrange(1, 40)):
+        hist.observe(rng.uniform(1e-6, 5.0))
+    return MetricsSnapshot(
+        scalars={
+            "ops": float(rng.randrange(1000)),
+            # Deliberately rounding-hostile magnitudes: pairwise float
+            # folds of these differ by fold order; merge_snapshots
+            # must not.
+            "clock": rng.uniform(0, 1e12),
+            "drift": rng.uniform(0, 1e-9),
+        },
+        histograms={"lat": hist.snapshot()},
+    )
+
+
+class TestMergeSnapshots:
+    """The fleet-aggregation contract: merge order must not matter."""
+
+    def test_matches_pairwise_merge_semantics(self):
+        rng = random.Random(7)
+        a, b = _random_snapshot(rng), _random_snapshot(rng)
+        folded = merge_snapshots([a, b])
+        pairwise = a.merge(b)
+        assert folded.scalars["ops"] == pairwise.scalars["ops"]
+        assert folded.histograms["lat"].counts == pairwise.histograms["lat"].counts
+        assert folded.histograms["lat"].sum == pytest.approx(
+            pairwise.histograms["lat"].sum
+        )
+
+    def test_any_permutation_is_bit_identical(self):
+        rng = random.Random(13)
+        snapshots = [_random_snapshot(rng) for _ in range(9)]
+        reference = merge_snapshots(snapshots)
+        for seed in range(5):
+            shuffled = snapshots[:]
+            random.Random(seed).shuffle(shuffled)
+            permuted = merge_snapshots(shuffled)
+            # Bit-identical, not approx: fleet results land in
+            # completion order, which varies run to run, and the
+            # merged report must not vary with it.
+            assert permuted.scalars == reference.scalars
+            assert permuted.histograms == reference.histograms
+
+    def test_associativity_against_incremental_fold(self):
+        rng = random.Random(5)
+        snapshots = [_random_snapshot(rng) for _ in range(4)]
+        left = merge_snapshots(
+            [merge_snapshots(snapshots[:2]), merge_snapshots(snapshots[2:])]
+        )
+        flat = merge_snapshots(snapshots)
+        assert left.histograms["lat"].counts == flat.histograms["lat"].counts
+        assert left.histograms["lat"].total == flat.histograms["lat"].total
+        for name in flat.scalars:
+            assert left.scalars[name] == pytest.approx(
+                flat.scalars[name], rel=1e-15
+            )
+
+    def test_disjoint_metric_names_union(self):
+        a = MetricsSnapshot(scalars={"x": 1.0})
+        b = MetricsSnapshot(scalars={"y": 2.0})
+        merged = merge_snapshots([a, b])
+        assert merged.scalars == {"x": 1.0, "y": 2.0}
+
+    def test_mismatched_bounds_raise(self):
+        small = Histogram("lat", bounds=(1.0, 2.0))
+        small.observe(1.5)
+        big = Histogram("lat")
+        big.observe(1.5)
+        with pytest.raises(ValueError):
+            merge_snapshots(
+                [
+                    MetricsSnapshot(histograms={"lat": small.snapshot()}),
+                    MetricsSnapshot(histograms={"lat": big.snapshot()}),
+                ]
+            )
+
+    def test_empty_input_merges_to_empty(self):
+        merged = merge_snapshots([])
+        assert merged.scalars == {} and merged.histograms == {}
+
+
+class TestWireForm:
+    """Lossless snapshot round-trip across process/file boundaries."""
+
+    def test_histogram_wire_round_trip(self):
+        hist = Histogram("lat")
+        for value in (1e-6, 3e-4, 0.5, 40.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        clone = HistogramSnapshot.from_wire(
+            json.loads(json.dumps(snap.to_wire()))
+        )
+        assert clone == snap  # exact: bucket counts survive, not summaries
+        assert clone.quantile(99.0) == snap.quantile(99.0)
+
+    def test_snapshot_wire_round_trip_preserves_merge(self):
+        rng = random.Random(3)
+        a, b = _random_snapshot(rng), _random_snapshot(rng)
+        a_clone = MetricsSnapshot.from_wire(
+            json.loads(json.dumps(a.to_wire()))
+        )
+        merged = merge_snapshots([a_clone, b])
+        direct = merge_snapshots([a, b])
+        assert merged.scalars == direct.scalars
+        assert merged.histograms == direct.histograms

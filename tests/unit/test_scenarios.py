@@ -297,3 +297,28 @@ def test_get_scenario_unknown_name():
 def test_registry_names_match_keys():
     for name, scenario in SCENARIOS.items():
         assert scenario.name == name
+
+
+def test_scenario_list_plans_fleet_sweeps():
+    # The --list table must carry enough to plan a fleet sweep without
+    # reading library.py: quick budgets and per-protocol capability
+    # notes for every scenario.
+    from repro.scenarios.soak import (
+        format_scenario_list,
+        quick_ops_for,
+        scenario_notes,
+    )
+
+    listing = format_scenario_list()
+    assert "quick ops" in listing
+    assert "notes" in listing
+    assert "crash faults dropped on crash-stop" in listing
+    assert "kv store (8 shards)" in listing
+    assert "captures full trace" in listing
+    assert "repro fleet" in listing
+    for scenario in list_scenarios():
+        assert str(quick_ops_for(scenario)) in listing
+    # Crash-carrying scenarios are flagged; fault-free ones are not.
+    assert "crash" in scenario_notes(get_scenario("rolling-crash"))
+    assert "crash" not in scenario_notes(get_scenario("steady-state"))
+    assert "crash" not in scenario_notes(get_scenario("loss-burst"))

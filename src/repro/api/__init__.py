@@ -49,6 +49,7 @@ from repro.api.types import (
     CHECK_METHODS,
     CRASH_INJECTION,
     SHARDING,
+    STORAGE_FAULTS,
     TRACE,
     VIRTUAL_TIME,
     ClusterStats,
@@ -71,6 +72,7 @@ __all__ = [
     "MetricsSnapshot",
     "OpHandle",
     "SHARDING",
+    "STORAGE_FAULTS",
     "Session",
     "SimBackend",
     "TRACE",

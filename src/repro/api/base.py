@@ -228,6 +228,27 @@ class Cluster:
         """Unblock every link a :meth:`partition` blocked."""
         raise self._unsupported("heal", "network partitions")
 
+    def corrupt_record(self, pid: int, key: str) -> bool:
+        """Make ``pid``'s durable record under ``key`` unreadable.
+
+        ``key`` is the raw storage key (``"writing"``/``"written"``
+        for the anonymous register, ``"<register>/writing"`` for named
+        slots).  Returns whether a record was present.  Requires the
+        ``storage_faults`` capability.
+        """
+        raise self._unsupported("corrupt_record", "storage fault injection")
+
+    def lose_stores(self, pid: int, count: int = 1) -> None:
+        """Silently drop ``pid``'s next ``count`` acknowledged stores."""
+        raise self._unsupported("lose_stores", "storage fault injection")
+
+    def slow_storage(self, pid: int, extra_latency: float) -> None:
+        """Add ``extra_latency`` to ``pid``'s stores until cleared.
+
+        Pass ``0.0`` to end the window.
+        """
+        raise self._unsupported("slow_storage", "storage fault injection")
+
     # -- clock -------------------------------------------------------------
 
     @property

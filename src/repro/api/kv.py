@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.api.base import Cluster, Session
 from repro.api.types import (
     CRASH_INJECTION,
+    STORAGE_FAULTS,
     SHARDING,
     TRACE,
     VIRTUAL_TIME,
@@ -116,7 +117,9 @@ class KVBackend(Cluster):
     """Façade adapter over :class:`~repro.kv.store.KVCluster`."""
 
     backend = "kv"
-    capabilities = frozenset({VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE})
+    capabilities = frozenset(
+        {VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE, STORAGE_FAULTS}
+    )
 
     def __init__(
         self,
@@ -208,6 +211,19 @@ class KVBackend(Cluster):
 
     def heal(self) -> None:
         self.kv.sim.network.heal_all()
+
+    def corrupt_record(self, pid: int, key: str) -> bool:
+        return self.kv.sim.node(pid).storage.corrupt(key)
+
+    def lose_stores(self, pid: int, count: int = 1) -> None:
+        self.kv.sim.node(pid).storage.lose_next_stores(count)
+
+    def slow_storage(self, pid: int, extra_latency: float) -> None:
+        storage = self.kv.sim.node(pid).storage
+        if extra_latency <= 0.0:
+            storage.clear_slow()
+        else:
+            storage.set_slow(extra_latency)
 
     # -- clock -------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from repro.api.base import Cluster, Session
 from repro.api.types import (
     CRASH_INJECTION,
+    STORAGE_FAULTS,
     TRACE,
     VIRTUAL_TIME,
     ClusterStats,
@@ -122,7 +123,9 @@ class SimBackend(Cluster):
     """Façade adapter over :class:`~repro.cluster.SimCluster`."""
 
     backend = "sim"
-    capabilities = frozenset({VIRTUAL_TIME, CRASH_INJECTION, TRACE})
+    capabilities = frozenset(
+        {VIRTUAL_TIME, CRASH_INJECTION, TRACE, STORAGE_FAULTS}
+    )
 
     def __init__(
         self,
@@ -218,6 +221,19 @@ class SimBackend(Cluster):
 
     def heal(self) -> None:
         self.sim.network.heal_all()
+
+    def corrupt_record(self, pid: int, key: str) -> bool:
+        return self.sim.node(pid).storage.corrupt(key)
+
+    def lose_stores(self, pid: int, count: int = 1) -> None:
+        self.sim.node(pid).storage.lose_next_stores(count)
+
+    def slow_storage(self, pid: int, extra_latency: float) -> None:
+        storage = self.sim.node(pid).storage
+        if extra_latency <= 0.0:
+            storage.clear_slow()
+        else:
+            storage.set_slow(extra_latency)
 
     # -- clock -------------------------------------------------------------
 
@@ -400,9 +416,24 @@ def register_sim_metrics(registry, sim) -> None:
         fn=lambda: sum(n.storage.bytes_logged for n in nodes),
     )
     registry.gauge(
+        "storage.footprint_bytes",
+        fn=lambda: sum(n.storage.log_bytes for n in nodes),
+    )
+    registry.gauge(
+        "storage.records",
+        fn=lambda: sum(n.storage.log_records for n in nodes),
+    )
+    registry.gauge(
         "node.crashes", fn=lambda: sum(n.crash_count for n in nodes)
     )
     registry.gauge("node.recoveries", fn=lambda: trace.count("recover"))
+    recovery_hist = registry.histogram("node.recovery_time")
+    for node in nodes:
+        # Backfill recoveries that completed before the registry was
+        # attached (it is created lazily), then observe live ones.
+        for duration in node.recovery_times:
+            recovery_hist.observe(duration)
+        node.on_recovery_time = recovery_hist.observe
     registry.gauge(
         "trace.flight_recorded",
         fn=lambda: trace.ring.total if trace.ring is not None else 0,

@@ -32,9 +32,13 @@ SHARDING = "sharding"
 CRASH_INJECTION = "crash_injection"
 #: The backend can capture a structured event trace of the run.
 TRACE = "trace"
+#: Stable storage faults can be injected (corrupt / lose / slow verbs).
+STORAGE_FAULTS = "storage_faults"
 
 #: Every defined capability flag.
-ALL_CAPABILITIES = frozenset({VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE})
+ALL_CAPABILITIES = frozenset(
+    {VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE, STORAGE_FAULTS}
+)
 
 #: Consistency criteria ``Cluster.check`` accepts.  ``"atomic"`` maps
 #: to the criterion the running protocol promises (transient for the

@@ -502,6 +502,26 @@ def _cmd_trace_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_recovery_bench(args: argparse.Namespace) -> str:
+    from repro.experiments.recovery_bench import (
+        format_recovery_bench,
+        run_recovery_bench,
+        write_recovery_file,
+    )
+
+    report = run_recovery_bench(
+        quick=getattr(args, "quick", False),
+        seed=getattr(args, "seed", None),
+    )
+    path = write_recovery_file(report, getattr(args, "output_dir", "."))
+    return (
+        "Recovery-time SLO sweep (virtual time; merged into "
+        "BENCH_engine.json)\n\n"
+        + format_recovery_bench(report)
+        + f"\n\nwrote {path}"
+    )
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure6-top": _cmd_figure6_top,
     "figure6-bottom": _cmd_figure6_bottom,
@@ -519,6 +539,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "trace-bench": _cmd_trace_bench,
+    "recovery-bench": _cmd_recovery_bench,
 }
 
 #: Subcommands ``repro all`` skips: the flight-recorder diagnostics
@@ -709,6 +730,22 @@ def build_parser() -> argparse.ArgumentParser:
                 "--output-dir", dest="output_dir", default=".",
                 help="directory for BENCH_trace.json (default: current "
                 "directory)",
+            )
+            continue
+        if name == "recovery-bench":
+            sub = subparsers.add_parser(
+                name, parents=[common],
+                help="sweep ops x checkpointing and record log footprint "
+                "and recovery time (merges into BENCH_engine.json)",
+            )
+            sub.add_argument(
+                "--quick", action="store_true",
+                help="CI-sized sweep (smaller operation budgets)",
+            )
+            sub.add_argument(
+                "--output-dir", dest="output_dir", default=".",
+                help="directory holding BENCH_engine.json (default: "
+                "current directory)",
             )
             continue
         sub = subparsers.add_parser(

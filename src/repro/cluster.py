@@ -80,6 +80,8 @@ class SimCluster:
         capture_trace: bool = True,
         batch_window: float = 0.0,
         flight_recorder: bool = True,
+        checkpoint_interval: Optional[float] = None,
+        recovery_scan: bool = False,
     ):
         if config is None:
             config = ClusterConfig()
@@ -126,6 +128,8 @@ class SimCluster:
                 trace=self.trace,
                 num_processes=config.num_processes,
                 batch_window=batch_window,
+                checkpoint_interval=checkpoint_interval,
+                recovery_scan=recovery_scan,
             )
             self.nodes.append(node)
         self._registers: Set[str] = set()

@@ -37,8 +37,11 @@ from repro.metrics import WallClockStats
 #: ``totals`` block, and the ``fleet`` key (process-pool sweeps with
 #: merged metrics and scaling rows).  Purely additive -- v2 readers
 #: keep working on every key they ever read -- so readers accept both.
-SCHEMA = "repro-bench/3"
-SUPPORTED_SCHEMAS = ("repro-bench/2", "repro-bench/3")
+#: v4: ``BENCH_engine.json`` gained the optional ``recovery`` axis
+#: (the ``repro recovery-bench`` ops x checkpoint-interval sweep: log
+#: footprint and recovery time per arm).  Additive again.
+SCHEMA = "repro-bench/4"
+SUPPORTED_SCHEMAS = ("repro-bench/2", "repro-bench/3", "repro-bench/4")
 
 
 def load_bench_payload(path: Any) -> Dict[str, Any]:

@@ -1,0 +1,220 @@
+"""Recovery-time SLO harness: the ``repro recovery-bench`` command.
+
+The robustness claim checkpoints exist to back: with periodic
+checkpoints and log compaction on, a process's recovery cost is
+bounded by what accumulated since the last checkpoint -- flat in the
+run's length -- while without them it scans and replays a log that
+grows linearly with every operation ever logged.
+
+Each point of the sweep runs a closed-loop workload of ``ops``
+operations on a 5-process persistent cluster with recovery-scan
+billing on, lets the cluster idle for a few checkpoint intervals (the
+checkpointer captures idle slots, so the final snapshot catches up),
+then crashes and recovers process 0 and reads off:
+
+* the un-compacted log left on process 0 (``log_records`` /
+  ``log_bytes`` -- the ``storage.footprint_bytes`` gauge's input), and
+* the virtual-seconds recovery time (scan + replay) the recovery paid.
+
+The two arms -- ``checkpoint_interval`` set vs ``None`` -- differ only
+in that knob.  Results merge into ``BENCH_engine.json`` as the
+``recovery`` axis (additive: schema ``repro-bench/4``), and CI runs
+the ``--quick`` sweep so every PR records the flat-vs-linear contrast
+instead of asserting a brittle absolute threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Operation budgets swept per arm.
+RECOVERY_OPS_QUICK = (100, 200)
+RECOVERY_OPS_FULL = (200, 400, 800)
+
+#: Virtual seconds between checkpoints on the checkpointing arm.
+CHECKPOINT_INTERVAL = 1e-3
+
+#: Idle virtual time before the crash: a few intervals, so the
+#: checkpointer (which only captures idle slots) has caught up and the
+#: measured footprint is the steady-state one, not a mid-burst one.
+IDLE_BEFORE_CRASH = 10 * CHECKPOINT_INTERVAL
+
+NUM_PROCESSES = 5
+VICTIM = 0
+
+
+@dataclass
+class RecoveryPoint:
+    """One (ops, checkpointing arm) measurement."""
+
+    ops: int
+    checkpointing: bool
+    log_records: int
+    log_bytes: int
+    recovery_time_s: float
+    checkpoints_committed: int
+    compactions: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "checkpointing": self.checkpointing,
+            "log_records": self.log_records,
+            "log_bytes": self.log_bytes,
+            "recovery_time_s": self.recovery_time_s,
+            "checkpoints_committed": self.checkpoints_committed,
+            "compactions": self.compactions,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Everything one ``repro recovery-bench`` invocation measured."""
+
+    quick: bool
+    seed: int
+    rows: List[RecoveryPoint] = field(default_factory=list)
+
+    def arm(self, checkpointing: bool) -> List[RecoveryPoint]:
+        return [row for row in self.rows if row.checkpointing is checkpointing]
+
+    def growth(self, checkpointing: bool) -> Optional[float]:
+        """Recovery-time ratio between the largest and smallest budget.
+
+        ~1.0 means flat in ops; ~(max_ops / min_ops) means linear.
+        ``None`` when the arm has fewer than two points.
+        """
+        arm = self.arm(checkpointing)
+        if len(arm) < 2:
+            return None
+        lo = min(arm, key=lambda row: row.ops)
+        hi = max(arm, key=lambda row: row.ops)
+        if lo.recovery_time_s <= 0:
+            return None
+        return hi.recovery_time_s / lo.recovery_time_s
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "quick": self.quick,
+            "seed": self.seed,
+            "num_processes": NUM_PROCESSES,
+            "victim": VICTIM,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "rows": [row.as_dict() for row in self.rows],
+            "growth": {
+                "checkpointing": self.growth(True),
+                "no_checkpointing": self.growth(False),
+            },
+        }
+
+
+def run_recovery_point(
+    ops: int, checkpointing: bool, seed: int = 0
+) -> RecoveryPoint:
+    """Measure one sweep point (see the module docstring)."""
+    from repro.api import open_cluster
+    from repro.workloads.generators import run_closed_loop
+
+    interval = CHECKPOINT_INTERVAL if checkpointing else None
+    with open_cluster(
+        backend="sim",
+        protocol="persistent",
+        num_processes=NUM_PROCESSES,
+        seed=seed,
+        checkpoint_interval=interval,
+        recovery_scan=True,
+    ) as cluster:
+        sim = cluster.sim
+        run_closed_loop(
+            sim,
+            operations_per_client=ops // NUM_PROCESSES,
+            read_fraction=0.5,
+            seed=seed,
+            poll_every=32,
+        )
+        cluster.run(IDLE_BEFORE_CRASH)
+        node = sim.nodes[VICTIM]
+        log_records = node.storage.log_records
+        log_bytes = node.storage.log_bytes
+        cluster.crash(VICTIM)
+        cluster.recover(VICTIM, wait=True)
+        return RecoveryPoint(
+            ops=ops,
+            checkpointing=checkpointing,
+            log_records=log_records,
+            log_bytes=log_bytes,
+            recovery_time_s=node.recovery_times[-1],
+            checkpoints_committed=node.checkpoints_committed,
+            compactions=node.storage.compactions,
+        )
+
+
+def run_recovery_bench(quick: bool = False, seed: Optional[int] = None) -> RecoveryReport:
+    """Sweep ops x {checkpointing on, off}; virtual-time measurements.
+
+    Every number is deterministic in (sweep, seed) -- virtual seconds
+    and log counters, no wall clocks -- so repeats are pointless and
+    the sweep runs each point once.
+    """
+    seed = 0 if seed is None else seed
+    report = RecoveryReport(quick=quick, seed=seed)
+    for ops in RECOVERY_OPS_QUICK if quick else RECOVERY_OPS_FULL:
+        for checkpointing in (True, False):
+            report.rows.append(run_recovery_point(ops, checkpointing, seed=seed))
+    return report
+
+
+def write_recovery_file(
+    report: RecoveryReport, output_dir: str = "."
+) -> str:
+    """Merge the ``recovery`` axis into ``BENCH_engine.json``.
+
+    The engine file is the natural home (recovery time is an engine
+    property, not a new suite) and the axis is additive: an existing
+    file keeps every other key and is re-stamped with the current
+    schema; a missing one is created with just this axis.
+    """
+    from repro.experiments.bench import SCHEMA, load_bench_payload
+
+    path = Path(output_dir) / "BENCH_engine.json"
+    if path.exists():
+        payload = load_bench_payload(path)
+    else:
+        payload = {"suite": "engine", "python": platform.python_version()}
+    payload["schema"] = SCHEMA
+    payload["recovery"] = report.payload()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def format_recovery_bench(report: RecoveryReport) -> str:
+    """Render the sweep as the table the CLI prints."""
+    lines = [
+        f"{'ops':>6}  {'checkpointing':>13}  {'log records':>11}  "
+        f"{'log bytes':>10}  {'recovery':>10}  {'ckpts':>5}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in report.rows:
+        lines.append(
+            f"{row.ops:>6}  {'on' if row.checkpointing else 'off':>13}  "
+            f"{row.log_records:>11}  {row.log_bytes:>10}  "
+            f"{row.recovery_time_s * 1e3:>8.2f}ms  "
+            f"{row.checkpoints_committed:>5}"
+        )
+    lines.append("")
+    on, off = report.growth(True), report.growth(False)
+    if on is not None and off is not None:
+        lines.append(
+            f"recovery-time growth, smallest -> largest budget: "
+            f"{on:.2f}x with checkpointing, {off:.2f}x without"
+        )
+        lines.append(
+            "(flat vs linear: checkpointing bounds recovery by the "
+            "checkpoint interval, not the run length)"
+        )
+    return "\n".join(lines)

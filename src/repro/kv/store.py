@@ -286,6 +286,8 @@ class KVCluster:
         seed: Optional[int] = None,
         capture_trace: bool = False,
         flight_recorder: bool = True,
+        checkpoint_interval: Optional[float] = None,
+        recovery_scan: bool = False,
     ):
         if batch_window < 0:
             raise ConfigurationError("batch_window must be >= 0")
@@ -305,6 +307,8 @@ class KVCluster:
             capture_trace=capture_trace,
             batch_window=batch_window,
             flight_recorder=flight_recorder,
+            checkpoint_interval=checkpoint_interval,
+            recovery_scan=recovery_scan,
         )
         self._pipelines: Dict[Tuple[ProcessId, int], _ShardPipeline] = {}
         self._next_pid = 0

@@ -110,6 +110,20 @@ class RecoveryComplete(Effect):
     """
 
 
+@dataclass(frozen=True)
+class Checkpoint(Effect):
+    """Ask the environment to checkpoint this process's stable storage.
+
+    The environment snapshots the durable records, persists the
+    snapshot in two phases (tentative, then permanent -- see
+    :mod:`repro.storage.checkpoint`), and truncates the per-register
+    log records the snapshot supersedes.  Protocols themselves never
+    emit this today; hosts trigger checkpoints on a timer.  It is an
+    :class:`Effect` so scripted protocols and tests can request one at
+    a precise point in an execution.
+    """
+
+
 Effects = List[Effect]
 """Alias for handler return values."""
 
@@ -126,20 +140,50 @@ class StableView:
     protocols read it with :meth:`retrieve` -- the ``retrieve``
     primitive of the model -- and write it only through :class:`Store`
     effects so that every log is billed and traced.
+
+    Hosts that checkpoint (see :mod:`repro.storage.checkpoint`) pass a
+    ``snapshot`` dictionary of records captured by the last committed
+    checkpoint.  Lookups fall back to the snapshot when the live log no
+    longer holds a key (it was truncated), and :meth:`checkpointed`
+    tells a recovering protocol whether a record it sees came *only*
+    from the snapshot -- i.e. the log entry was superseded and its
+    write is known complete, so replay can be skipped.
     """
 
-    def __init__(self, records: Dict[str, Tuple[Any, ...]]):
+    def __init__(
+        self,
+        records: Dict[str, Tuple[Any, ...]],
+        snapshot: Optional[Dict[str, Tuple[Any, ...]]] = None,
+    ):
         self._records = records
+        self._snapshot: Dict[str, Tuple[Any, ...]] = (
+            snapshot if snapshot is not None else {}
+        )
 
     def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
         """Return the last record logged under ``key``, or ``None``."""
-        return self._records.get(key)
+        record = self._records.get(key)
+        if record is None:
+            return self._snapshot.get(key)
+        return record
+
+    def checkpointed(self, key: str) -> bool:
+        """Whether ``key`` resolves only via the checkpoint snapshot.
+
+        ``True`` means the live log entry for ``key`` was truncated by
+        a committed checkpoint and nothing has been re-logged since --
+        the record's effects are known durable at a majority, so
+        recovery may skip its replay round.
+        """
+        return key not in self._records and key in self._snapshot
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        return key in self._records or key in self._snapshot
 
     def keys(self) -> List[str]:
-        return list(self._records)
+        merged = dict(self._snapshot)
+        merged.update(self._records)
+        return list(merged)
 
     def scoped(self, prefix: str) -> "StableView":
         """A view of the same durable dictionary under a key prefix.
@@ -151,31 +195,49 @@ class StableView:
         colliding.  Scoping composes: a scoped view can be scoped
         again.
         """
-        return _ScopedStableView(self._records, prefix)
+        return _ScopedStableView(self._records, self._snapshot, prefix)
 
 
 class _ScopedStableView(StableView):
     """A :class:`StableView` that prefixes every key it is asked for."""
 
-    def __init__(self, records: Dict[str, Tuple[Any, ...]], prefix: str):
-        super().__init__(records)
+    def __init__(
+        self,
+        records: Dict[str, Tuple[Any, ...]],
+        snapshot: Dict[str, Tuple[Any, ...]],
+        prefix: str,
+    ):
+        super().__init__(records, snapshot)
         self._prefix = prefix
 
     def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
-        return self._records.get(self._prefix + key)
+        scoped = self._prefix + key
+        record = self._records.get(scoped)
+        if record is None:
+            return self._snapshot.get(scoped)
+        return record
+
+    def checkpointed(self, key: str) -> bool:
+        scoped = self._prefix + key
+        return scoped not in self._records and scoped in self._snapshot
 
     def __contains__(self, key: str) -> bool:
-        return self._prefix + key in self._records
+        scoped = self._prefix + key
+        return scoped in self._records or scoped in self._snapshot
 
     def keys(self) -> List[str]:
+        merged = dict(self._snapshot)
+        merged.update(self._records)
         return [
             key[len(self._prefix):]
-            for key in self._records
+            for key in merged
             if key.startswith(self._prefix)
         ]
 
     def scoped(self, prefix: str) -> "StableView":
-        return _ScopedStableView(self._records, self._prefix + prefix)
+        return _ScopedStableView(
+            self._records, self._snapshot, self._prefix + prefix
+        )
 
 
 # ---------------------------------------------------------------------------

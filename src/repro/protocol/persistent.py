@@ -91,6 +91,16 @@ class PersistentAtomicProtocol(TwoRoundRegisterProtocol):
         running the second round of the write operation; even if there
         was no unfinished write, re-writing an old value with an old
         timestamp displaces nothing.
+
+        Checkpoint fast path: when the ``writing`` record survives only
+        in a committed checkpoint snapshot
+        (:meth:`repro.protocol.base.StableView.checkpointed`), the host
+        captured it while this process was idle -- the write it guards
+        had completed, so its value already reached a majority and the
+        replay round is provably redundant.  Recovery then completes
+        immediately, without any message exchange.  Any write begun
+        after the capture re-logs ``writing``, which takes the key out
+        of the snapshot-only state and the normal replay runs.
         """
         self._reset_volatile()
         written = self.stable.retrieve(KEY_WRITTEN)
@@ -100,6 +110,9 @@ class PersistentAtomicProtocol(TwoRoundRegisterProtocol):
             self.value = value
             self.durable_tag = self.tag
         writing = self.stable.retrieve(KEY_WRITING)
+        if writing is not None and self.stable.checkpointed(KEY_WRITING):
+            self._recovery_done = True
+            return [RecoveryComplete()]
         if writing is not None:
             replay_tag = Tag.from_tuple(writing[0])
             replay_value = writing[1]

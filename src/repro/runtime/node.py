@@ -25,6 +25,7 @@ batching needs flow-control decisions the runtime does not make).
 from __future__ import annotations
 
 import asyncio
+import pickle
 from pathlib import Path
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
@@ -39,6 +40,7 @@ from repro.history.recorder import HistoryRecorder
 from repro.protocol.base import (
     Broadcast,
     CancelTimer,
+    Checkpoint,
     Effect,
     RecoveryComplete,
     RegisterProtocol,
@@ -51,6 +53,7 @@ from repro.protocol.base import (
 from repro.protocol.messages import Message, MuxBatch, RegisterFrame
 from repro.runtime.storage import FileStableStorage
 from repro.runtime.transport import UdpTransport
+from repro.storage import checkpoint as ckpt
 
 
 class RuntimeOperation:
@@ -100,6 +103,11 @@ class RuntimeNode:
         self.storage = FileStableStorage(Path(storage_root) / f"node-{pid}")
         self._factory = protocol_factory
         self._recorder = recorder
+        self._snapshot: Dict[str, Tuple[Any, ...]] = {}
+        self._snapshot_sizes: Dict[str, int] = {}
+        self._ckpt_seq = 0
+        self.checkpoints_committed = 0
+        self._load_snapshot()
         self._slots: Dict[Optional[str], _RuntimeSlot] = {}
         self._slots[None] = self._make_slot(None)
         self._depths = CausalDepthTracker()
@@ -111,7 +119,7 @@ class RuntimeNode:
 
     def _make_slot(self, register: Optional[str]) -> _RuntimeSlot:
         prefix = "" if register is None else f"{register}/"
-        stable = StableView(self.storage.records)
+        stable = StableView(self.storage.records, self._snapshot)
         if register is not None:
             stable = stable.scoped(prefix)
         protocol = self._factory(self.pid, self.num_processes, stable)
@@ -204,8 +212,9 @@ class RuntimeNode:
         self.recoveries += 1
         self.transport.muted = False
         self.storage.reload_from_disk()
+        self._load_snapshot()
         self._recorder.record_recovery(self.pid)
-        base = StableView(self.storage.records)
+        base = StableView(self.storage.records, self._snapshot)
         for slot in list(self._slots.values()):
             if slot.register is None:
                 slot.protocol.stable = base
@@ -215,6 +224,73 @@ class RuntimeNode:
                 self._boot_slot(slot)
                 continue
             self._execute(slot.protocol.recover(), depth=0, op=None, slot=slot)
+
+    def _load_snapshot(self) -> None:
+        """Rebuild the in-memory snapshot from the durable permanent record.
+
+        As in the simulator, a stray tentative record (crash between
+        the two checkpoint phases) is ignored: its truncations never
+        happened, so the previous permanent snapshot plus the intact
+        log suffix is still a complete restore point.
+        """
+        seq, records, sizes = ckpt.load_snapshot(
+            self.storage.retrieve(ckpt.PERMANENT_KEY)
+        )
+        self._ckpt_seq = seq
+        self._snapshot.clear()
+        self._snapshot.update(records)
+        self._snapshot_sizes = dict(sizes)
+
+    def checkpoint(self) -> bool:
+        """Run one two-phase checkpoint now; returns whether one committed.
+
+        The runtime twin of ``SimNode.begin_checkpoint``, collapsed to
+        a single synchronous call because :class:`FileStableStorage`
+        stores are synchronous: tentative store, permanent store,
+        truncate the captured records, drop the tentative.  Captures
+        only *idle* slots (no operation in flight, recovery complete),
+        whose last write reached a majority.  Blocks the event loop for
+        two fsyncs -- callers drive it from tests or maintenance hooks,
+        not the datapath.
+        """
+        if self.crashed:
+            return False
+        idle = [
+            slot.prefix
+            for slot in self._slots.values()
+            if slot.ready
+            and (slot.current is None or slot.current.future.done())
+            and not getattr(slot.protocol, "busy", False)
+        ]
+        live = self.storage.records
+        keys = ckpt.capturable_keys(live.keys(), idle)
+        fresh = {
+            key: live[key]
+            for key in keys
+            if self._snapshot.get(key) != live[key]
+        }
+        if not fresh:
+            return False
+        captured = dict(self._snapshot)
+        captured.update(fresh)
+        sizes = dict(self._snapshot_sizes)
+        for key in fresh:
+            sizes[key] = len(pickle.dumps((key, fresh[key])))
+        seq = self._ckpt_seq + 1
+        record = ckpt.build_snapshot_record(seq, captured, sizes)
+        size = ckpt.snapshot_store_size(sizes.values())
+        self.storage.store(ckpt.TENTATIVE_KEY, record, size)
+        self.storage.store(ckpt.PERMANENT_KEY, record, size)
+        self._ckpt_seq = seq
+        self._snapshot.clear()
+        self._snapshot.update(captured)
+        self._snapshot_sizes = sizes
+        for key, captured_record in fresh.items():
+            if live.get(key) == captured_record:
+                self.storage.delete(key)
+        self.storage.delete(ckpt.TENTATIVE_KEY)
+        self.checkpoints_committed += 1
+        return True
 
     async def wait_ready(self, timeout: float = 5.0) -> None:
         deadline = asyncio.get_event_loop().time() + timeout
@@ -381,6 +457,8 @@ class RuntimeNode:
                     handle.cancel()
             elif isinstance(effect, RecoveryComplete):
                 slot.ready = True
+            elif isinstance(effect, Checkpoint):
+                self.checkpoint()
             else:
                 raise ProtocolError(f"unknown effect {type(effect).__name__}")
 

@@ -6,10 +6,19 @@ never corrupt the previous record -- mirroring the simulator's
 semantics where an in-flight store that crashes leaves the old record
 intact.  Records are serialized with :mod:`pickle` (library-internal
 data only; nothing here parses untrusted input).
+
+Startup is quarantine-and-continue: leftover ``.tmp`` files (a crash
+before the atomic rename) are deleted, and a record file that fails to
+read or decode is renamed aside with a ``.corrupt`` extension and
+logged instead of aborting recovery.  Losing a single local record is
+a fault the protocols already tolerate -- they never rely on one copy
+of anything -- so refusing to start would turn a recoverable storage
+fault into a permanent crash.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import zlib
@@ -19,6 +28,9 @@ from typing import Any, Dict, Optional, Tuple
 from repro.common.errors import StorageError
 
 _SUFFIX = ".rec"
+_QUARANTINE_SUFFIX = ".corrupt"
+
+logger = logging.getLogger(__name__)
 
 
 class FileStableStorage:
@@ -31,6 +43,7 @@ class FileStableStorage:
         except OSError as exc:
             raise StorageError(f"cannot create storage dir {self._root}: {exc}")
         self._records: Dict[str, Tuple[Any, ...]] = {}
+        self.records_quarantined = 0
         self._load()
         self.stores_completed = 0
         self.bytes_logged = 0
@@ -49,13 +62,35 @@ class FileStableStorage:
         return self._root / f"{safe}.{digest:08x}{_SUFFIX}"
 
     def _load(self) -> None:
+        # A .tmp file is a store that crashed before its atomic rename;
+        # the previous record (if any) is intact, the partial write is
+        # garbage.
+        for tmp in self._root.glob("*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
         for path in self._root.glob(f"*{_SUFFIX}"):
             try:
                 with open(path, "rb") as handle:
                     key, record = pickle.load(handle)
-            except (OSError, pickle.PickleError) as exc:
-                raise StorageError(f"corrupt record {path}: {exc}")
+            except (OSError, pickle.PickleError, EOFError, ValueError) as exc:
+                self._quarantine(path, exc)
+                continue
             self._records[key] = record
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move an unreadable record aside and keep starting up."""
+        target = path.with_name(path.name + _QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            target = path  # could not even rename; leave it in place
+        self.records_quarantined += 1
+        logger.warning(
+            "quarantined corrupt record %s -> %s (%s); recovery continues "
+            "without it", path.name, target.name, exc,
+        )
 
     def store(self, key: str, record: Tuple[Any, ...], size: int) -> None:
         """Synchronously persist ``record`` under ``key``.
@@ -87,6 +122,27 @@ class FileStableStorage:
     def retrieve(self, key: str) -> Optional[Tuple[Any, ...]]:
         """Read the last durable record under ``key`` (or ``None``)."""
         return self._records.get(key)
+
+    def delete(self, key: str) -> None:
+        """Remove the record under ``key`` (checkpoint truncation).
+
+        Durable like :meth:`store`: the unlink is followed by a
+        directory fsync, so a truncated record cannot resurface after
+        a crash.  Deleting a missing key is a no-op.
+        """
+        self._records.pop(key, None)
+        path = self._path(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise StorageError(f"delete of {key!r} failed: {exc}")
+        dir_fd = os.open(self._root, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def reload_from_disk(self) -> None:
         """Drop the in-memory view and re-read the files.

@@ -6,8 +6,10 @@ ingredients declaratively:
 
 * **fault schedules** (:mod:`repro.scenarios.faults`) -- timed crashes
   and recoveries, rolling restart waves, partitions that heal,
-  message-loss bursts, slow-link windows, and trace-triggered crashes
-  with the instant precision of the paper's lower-bound adversaries;
+  message-loss bursts, slow-link windows, trace-triggered crashes
+  with the instant precision of the paper's lower-bound adversaries,
+  and storage faults (torn checkpoints, corrupted records, lying
+  fsync, slow disks -- see ``docs/recovery.md``);
 * **workload phases** (:class:`~repro.scenarios.spec.WorkloadPhase`) --
   closed-loop read/write mixes on the single register or zipfian key
   traffic on the sharded KV store, with per-phase operation budgets
@@ -41,12 +43,16 @@ Quickstart::
 from repro.scenarios.faults import (
     CrashAt,
     CrashOnTrace,
+    CorruptRecord,
     Downtime,
     FaultAction,
     LossBurst,
+    LostStore,
     PartitionWindow,
     RollingRestarts,
+    SlowDisk,
     SlowLinks,
+    TornStore,
 )
 from repro.scenarios.fleet import (
     FleetParityError,
@@ -69,6 +75,7 @@ from repro.scenarios.spec import Scenario, WorkloadPhase
 __all__ = [
     "SCENARIOS",
     "CheckOutcome",
+    "CorruptRecord",
     "CrashAt",
     "CrashOnTrace",
     "Downtime",
@@ -77,13 +84,16 @@ __all__ = [
     "FleetReport",
     "FleetTimeoutError",
     "LossBurst",
+    "LostStore",
     "PartitionWindow",
     "PhaseOutcome",
     "RollingRestarts",
     "RunSpec",
     "Scenario",
     "ScenarioResult",
+    "SlowDisk",
     "SlowLinks",
+    "TornStore",
     "WorkloadPhase",
     "build_fleet_specs",
     "execute_spec",

@@ -32,17 +32,22 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.sim import tracing
 from repro.sim.failures import CrashSchedule
 
 __all__ = [
+    "CorruptRecord",
     "CrashAt",
     "CrashOnTrace",
     "Downtime",
     "FaultAction",
     "LossBurst",
+    "LostStore",
     "PartitionWindow",
     "RollingRestarts",
+    "SlowDisk",
     "SlowLinks",
+    "TornStore",
     "victims_of",
 ]
 
@@ -338,6 +343,137 @@ class CrashOnTrace(FaultAction):
 
     def permanent_victims(self) -> Set[int]:
         return set() if self.recover_after is not None else {self.pid}
+
+
+@dataclass(frozen=True)
+class TornStore(FaultAction):
+    """Crash ``pid`` exactly between the two phases of its checkpoint.
+
+    The adversarial schedule for the two-phase checkpoint discipline
+    (:mod:`repro.storage.checkpoint`): the crash lands synchronously on
+    the process's ``ckpt_tentative`` trace event -- the tentative
+    snapshot is durable, the permanent store was never issued, and no
+    truncation happened.  Recovery must ignore the stray tentative
+    record and restore from the previous permanent snapshot plus the
+    intact log suffix.  ``count`` skips the first matches (tear the
+    ``count``-th checkpoint); ``recover_after`` schedules the recovery
+    that much virtual time later (``None`` leaves the process down).
+    """
+
+    pid: int
+    count: int = 1
+    recover_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise ConfigurationError("recover_after must be > 0")
+
+    def arm(self, cluster) -> None:
+        sim = _sim_of(cluster)
+        pid = self.pid
+
+        def matches(event) -> bool:
+            return event.kind == tracing.CKPT_TENTATIVE and event.pid == pid
+
+        sim.injector.crash_when(matches, pid, count=self.count)
+        if self.recover_after is not None:
+            sim.injector.recover_when(
+                matches, pid, count=self.count, delay=self.recover_after
+            )
+
+    def victims(self) -> Set[int]:
+        return {self.pid}
+
+    def permanent_victims(self) -> Set[int]:
+        return set() if self.recover_after is not None else {self.pid}
+
+
+@dataclass(frozen=True)
+class CorruptRecord(FaultAction):
+    """Make ``pid``'s durable record under ``key`` unreadable at ``time``.
+
+    Models a record file failing its decode on the next read and being
+    quarantined (the :class:`~repro.runtime.storage.FileStableStorage`
+    behavior): the key simply stops resolving.  ``key`` is the raw
+    storage key -- ``"writing"``/``"written"`` for the default register
+    slot, ``"<register>/writing"`` for named slots.  Corrupting
+    ``writing`` is always recoverable (recovery replays bottom);
+    corrupting ``written`` may lose the only local copy of a value, so
+    scenarios that must stay atomic should leave it alone.
+    """
+
+    pid: int
+    key: str
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("corruption time must be >= 0")
+
+    def arm(self, cluster) -> None:
+        sim = _sim_of(cluster)
+        storage = sim.nodes[self.pid].storage
+        sim.kernel.schedule(self.time, storage.corrupt, self.key)
+
+
+@dataclass(frozen=True)
+class SlowDisk(FaultAction):
+    """Add ``extra_latency`` to ``pid``'s stores between ``start`` and ``end``.
+
+    The storage sibling of :class:`SlowLinks`: every store issued in
+    the window pays the extra latency on top of the modelled one, and
+    queues behind the slowed writes ahead of it on the sequential
+    device.  Windows on the same process must not overlap (the end of
+    one would clear the other).
+    """
+
+    pid: int
+    start: float
+    end: float
+    extra_latency: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError("slow-disk window needs 0 <= start < end")
+        if self.extra_latency <= 0:
+            raise ConfigurationError("extra_latency must be > 0")
+
+    def arm(self, cluster) -> None:
+        sim = _sim_of(cluster)
+        storage = sim.nodes[self.pid].storage
+        sim.kernel.schedule(self.start, storage.set_slow, self.extra_latency)
+        sim.kernel.schedule(self.end, storage.clear_slow)
+
+
+@dataclass(frozen=True)
+class LostStore(FaultAction):
+    """Silently lose ``count`` of ``pid``'s stores from ``time`` on.
+
+    The lying-fsync fault: the device acknowledges the store (the
+    protocol proceeds as if it were durable) but the record never
+    lands.  The protocols tolerate it the way they tolerate a crash
+    that voids an in-flight store -- the paper's algorithms never rely
+    on a *single* copy of anything -- but the lost log is visible in
+    ``stores_lost`` and in recovery behavior, which is exactly what
+    robustness scenarios probe.
+    """
+
+    pid: int
+    time: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("loss time must be >= 0")
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+    def arm(self, cluster) -> None:
+        sim = _sim_of(cluster)
+        storage = sim.nodes[self.pid].storage
+        sim.kernel.schedule(self.time, storage.lose_next_stores, self.count)
 
 
 def victims_of(

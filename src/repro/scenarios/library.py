@@ -20,12 +20,16 @@ from typing import Dict, List
 
 from repro.common.errors import ConfigurationError
 from repro.scenarios.faults import (
+    CorruptRecord,
     CrashOnTrace,
     Downtime,
     LossBurst,
+    LostStore,
     PartitionWindow,
     RollingRestarts,
+    SlowDisk,
     SlowLinks,
+    TornStore,
 )
 from repro.scenarios.spec import STORE_KV, Scenario, WorkloadPhase
 
@@ -135,6 +139,61 @@ def _build_library() -> Dict[str, Scenario]:
                         Downtime(pid=3, start=1e-3, end=5e-3),
                         Downtime(pid=4, start=1.2e-3, end=5.5e-3),
                         LossBurst(start=4e-3, end=9e-3, probability=0.15, seed=11),
+                    ),
+                ),
+                WorkloadPhase(name="drain", weight=1.0),
+            ),
+        ),
+        Scenario(
+            name="crash-mid-checkpoint",
+            description=(
+                "Periodic checkpoints under the torn-checkpoint "
+                "adversary: process 1 crashes exactly between the "
+                "tentative and permanent phases of a checkpoint, "
+                "process 2 has its writing record corrupted and then "
+                "restarts -- recovery must ignore the stray tentative "
+                "snapshot and quarantine the corrupt record"
+            ),
+            default_ops=600,
+            checkpoint_interval=1.5e-3,
+            phases=(
+                WorkloadPhase(
+                    name="torn",
+                    weight=2.0,
+                    read_fraction=0.2,
+                    faults=(
+                        TornStore(pid=1, recover_after=2e-3),
+                        CorruptRecord(pid=2, key="writing", time=2e-3),
+                        Downtime(pid=2, start=3e-3, end=6e-3),
+                    ),
+                ),
+                WorkloadPhase(name="drain", weight=1.0),
+            ),
+        ),
+        Scenario(
+            name="checkpointed-recovery-storm",
+            description=(
+                "The recovery-storm adversary with periodic "
+                "checkpoints, recovery-scan billing, a slow disk and a "
+                "lying fsync: recoveries replay the compacted "
+                "snapshot-plus-suffix instead of the raw log, so "
+                "recovery time stays bounded by the checkpoint "
+                "interval, not the run length"
+            ),
+            default_ops=900,
+            checkpoint_interval=1.5e-3,
+            recovery_scan=True,
+            phases=(
+                WorkloadPhase(name="warm", weight=1.0),
+                WorkloadPhase(
+                    name="storm",
+                    weight=2.0,
+                    faults=(
+                        Downtime(pid=3, start=1e-3, end=5e-3),
+                        Downtime(pid=4, start=1.2e-3, end=5.5e-3),
+                        LossBurst(start=4e-3, end=9e-3, probability=0.15, seed=11),
+                        SlowDisk(pid=2, start=1e-3, end=4e-3, extra_latency=2e-4),
+                        LostStore(pid=1, time=2e-3, count=2),
                     ),
                 ),
                 WorkloadPhase(name="drain", weight=1.0),

@@ -154,6 +154,13 @@ class ScenarioResult:
     #: fleet aggregation merges.  ``metrics`` above is its lossy
     #: ``as_dict`` summary; both stay out of the fingerprint.
     metrics_snapshot: Optional[Any] = field(default=None, repr=False)
+    #: Virtual-seconds duration of every completed crash-recovery, per
+    #: process (pid -> durations, in crash order).  Deterministic, but
+    #: observational -- reported alongside the fingerprint, not inside
+    #: it, like the other metrics.
+    recovery_times: Optional[Dict[int, List[float]]] = field(
+        default=None, repr=False
+    )
 
     @property
     def verdict(self) -> bool:
@@ -211,6 +218,18 @@ class ScenarioResult:
             f"  failures: {self.crashes} crashes, {self.recoveries} recoveries",
             f"  wall {self.wall_s:.2f}s (verification {self.check_wall_s:.2f}s)",
         ]
+        if self.recovery_times:
+            durations = [
+                duration
+                for times in self.recovery_times.values()
+                for duration in times
+            ]
+            if durations:
+                lines.append(
+                    f"  recovery times: {len(durations)} recoveries, "
+                    f"max {max(durations) * 1e3:.2f}ms, "
+                    f"mean {sum(durations) / len(durations) * 1e3:.2f}ms"
+                )
         for check in self.checks:
             status = "ok" if check.ok else f"VIOLATED ({check.violations})"
             lines.append(
@@ -567,5 +586,12 @@ def _finalize(result: ScenarioResult, cluster: Cluster, capture: bool) -> None:
     result.metrics = snapshot.as_dict()
     result.metrics_snapshot = snapshot
     result.flight_recorder = getattr(cluster, "flight_recorder", None)
+    sim = getattr(cluster, "sim", None)
+    if sim is not None:
+        result.recovery_times = {
+            node.pid: list(node.recovery_times)
+            for node in sim.nodes
+            if node.recovery_times
+        }
     if capture:
         result.transcript = _normalize_transcript(cluster.transcript() or [])

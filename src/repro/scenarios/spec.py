@@ -82,6 +82,11 @@ class Scenario:
     #: KV-only configuration.
     num_shards: int = 8
     batch_window: float = 0.0
+    #: Checkpointing: virtual seconds between periodic checkpoints
+    #: (``None`` disables them) and whether recovery bills a scan of
+    #: the un-compacted log (see ``docs/recovery.md``).
+    checkpoint_interval: Optional[float] = None
+    recovery_scan: bool = False
 
     def __post_init__(self) -> None:
         if not self.phases:
@@ -101,13 +106,21 @@ class Scenario:
         return "kv" if self.store == STORE_KV else "sim"
 
     def backend_options(self) -> dict:
-        """Extra ``open_cluster`` options the store needs (KV sharding)."""
+        """Extra ``open_cluster`` options the store needs.
+
+        The checkpoint knobs are emitted only when set, so scenarios
+        that predate them build byte-identical clusters (and keep
+        their golden fingerprints).
+        """
+        options: dict = {}
         if self.store == STORE_KV:
-            return {
-                "num_shards": self.num_shards,
-                "batch_window": self.batch_window,
-            }
-        return {}
+            options["num_shards"] = self.num_shards
+            options["batch_window"] = self.batch_window
+        if self.checkpoint_interval is not None:
+            options["checkpoint_interval"] = self.checkpoint_interval
+        if self.recovery_scan:
+            options["recovery_scan"] = True
+        return options
 
     @property
     def check_method(self) -> str:

@@ -50,6 +50,7 @@ from repro.protocol.messages import Message, MuxBatch, RegisterFrame
 from repro.protocol.base import (
     Broadcast,
     CancelTimer,
+    Checkpoint,
     Effect,
     RecoveryComplete,
     RegisterProtocol,
@@ -60,6 +61,7 @@ from repro.protocol.base import (
     Store,
 )
 from repro.sim import tracing
+from repro.storage import checkpoint as ckpt
 from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.network import Envelope, SimNetwork
 from repro.sim.storage import SimStableStorage
@@ -180,9 +182,13 @@ class SimNode:
         num_processes: int,
         trace: Optional[Trace] = None,
         batch_window: float = 0.0,
+        checkpoint_interval: Optional[float] = None,
+        recovery_scan: bool = False,
     ):
         if batch_window < 0:
             raise ProtocolError("batch_window must be >= 0")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ProtocolError("checkpoint_interval must be > 0")
         self.pid = pid
         self._kernel = kernel
         self._network = network
@@ -192,13 +198,33 @@ class SimNode:
         self._trace = NULL_TRACE if trace is None else trace
         self._num_processes = num_processes
         self.batch_window = batch_window
+        #: Virtual seconds between periodic checkpoints (None = never).
+        self.checkpoint_interval = checkpoint_interval
+        #: Whether recovery bills a scan of the whole log before the
+        #: protocols run (see SimStableStorage.recovery_scan_latency).
+        self.recovery_scan = recovery_scan
 
         self.state = UP
         self.incarnation = 0
         self.crash_count = 0
         self._booted = False
+        #: Wall (virtual) duration of each completed crash-recovery.
+        self.recovery_times: List[float] = []
+        #: Optional observer called with each recovery duration.
+        self.on_recovery_time: Optional[Callable[[float], None]] = None
+        self._recover_began: Optional[float] = None
+        self._scanning = False
 
-        self._stable_view = StableView(storage.records)
+        # Last committed checkpoint: snapshot records (shared with the
+        # StableView, updated in place), their billed sizes, and the
+        # checkpoint sequence number.
+        self._snapshot: Dict[str, Tuple[Any, ...]] = {}
+        self._snapshot_sizes: Dict[str, int] = {}
+        self._ckpt_seq = 0
+        self._ckpt_in_progress = False
+        self.checkpoints_committed = 0
+
+        self._stable_view = StableView(storage.records, self._snapshot)
         self._slots: Dict[Optional[str], _RegisterSlot] = {}
         self._slots[DEFAULT_REGISTER] = self._make_slot(DEFAULT_REGISTER)
         self._depths = CausalDepthTracker()
@@ -281,6 +307,7 @@ class SimNode:
         self._booted = True
         for slot in list(self._slots.values()):
             self._boot_slot(slot)
+        self._arm_checkpoint_timer()
 
     def _boot_slot(self, slot: _RegisterSlot) -> None:
         slot.booted = True
@@ -299,6 +326,9 @@ class SimNode:
         self._timers.clear()
         self._pending_frames.clear()
         self._flush_scheduled.clear()
+        self._ckpt_in_progress = False
+        self._scanning = False
+        self._recover_began = None
         self._storage.crash()
         self._depths.reset()
         for slot in self._slots.values():
@@ -317,10 +347,18 @@ class SimNode:
             self._trace.tick(tracing.CRASH, self._kernel.now, self.pid)
 
     def recover(self) -> None:
-        """Restart the process and run every slot's recovery procedure."""
+        """Restart the process and run every slot's recovery procedure.
+
+        With :attr:`recovery_scan` on, the process first pays for
+        reading its whole log back from the device (linear in the
+        un-compacted log -- the cost checkpoints exist to bound) and
+        only then runs the protocols' recovery procedures; messages
+        arriving during the scan are dropped, as for a crashed process.
+        """
         if self.state != CRASHED:
             raise ProtocolError(f"process {self.pid} is not crashed")
         self.state = RECOVERING
+        self._recover_began = self._kernel.now
         self._recorder.record_recovery(self.pid)
         if self._trace.wants(tracing.RECOVER):
             self._trace.emit(
@@ -328,6 +366,21 @@ class SimNode:
             )
         else:
             self._trace.tick(tracing.RECOVER, self._kernel.now, self.pid)
+        if self.recovery_scan:
+            self._scanning = True
+            self._kernel.schedule(
+                self._storage.recovery_scan_latency(),
+                self._finish_recover,
+                self.incarnation,
+            )
+            return
+        self._finish_recover(self.incarnation)
+
+    def _finish_recover(self, incarnation: int) -> None:
+        if incarnation != self.incarnation or self.state != RECOVERING:
+            return  # crashed again while the scan was in progress
+        self._scanning = False
+        self._load_snapshot()
         for slot in list(self._slots.values()):
             if not slot.booted:
                 # Provisioned while the node was down: first boot now.
@@ -335,6 +388,190 @@ class SimNode:
                 continue
             effects = slot.protocol.recover()
             self._execute(effects, depth=0, op=None, slot=slot)
+        self._arm_checkpoint_timer()
+
+    def _load_snapshot(self) -> None:
+        """Rebuild the in-memory snapshot from the durable permanent record.
+
+        A stray tentative record (crash between the two checkpoint
+        phases) is ignored: the truncations it would have justified
+        never happened, so the previous snapshot plus the intact log
+        suffix is still complete.
+        """
+        seq, records, sizes = ckpt.load_snapshot(
+            self._storage.retrieve(ckpt.PERMANENT_KEY)
+        )
+        self._ckpt_seq = seq
+        self._snapshot.clear()
+        self._snapshot.update(records)
+        self._snapshot_sizes = dict(sizes)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _arm_checkpoint_timer(self) -> None:
+        if self.checkpoint_interval is None:
+            return
+        self._kernel.schedule(
+            self.checkpoint_interval, self._checkpoint_tick, self.incarnation
+        )
+
+    def _checkpoint_tick(self, incarnation: int) -> None:
+        if incarnation != self.incarnation or self.state == CRASHED:
+            return  # a crash killed this timer chain; recovery re-arms
+        if self.state == UP and not self._ckpt_in_progress:
+            self.begin_checkpoint()
+        self._arm_checkpoint_timer()
+
+    def begin_checkpoint(self) -> bool:
+        """Start a two-phase checkpoint; returns whether one began.
+
+        Captures the records of every *idle* register slot (no client
+        operation in flight, recovery complete): idle means the slot's
+        last write completed, i.e. its value reached a majority, so
+        recovery may skip the replay round for a record that survives
+        only in the snapshot.  Busy slots keep their live log entries
+        and recover the normal way.  The captured records are merged
+        over the previous snapshot so the permanent record alone is
+        always a complete restore point.
+
+        No-op while crashed/recovering, while another checkpoint is in
+        progress, or when no new records are capturable.
+        """
+        if self.state != UP or self._ckpt_in_progress:
+            return False
+        idle = [
+            slot.prefix
+            for slot in self._slots.values()
+            if slot.ready
+            and (slot.current is None or slot.current.settled)
+            and not getattr(slot.protocol, "busy", False)
+        ]
+        live = self._storage.records
+        keys = ckpt.capturable_keys(live.keys(), idle)
+        # Only re-snapshot keys whose live record moved past the
+        # snapshot; unchanged state needs no new checkpoint.
+        fresh = {
+            key: live[key]
+            for key in keys
+            if self._snapshot.get(key) != live[key]
+        }
+        if not fresh:
+            return False
+        captured = dict(self._snapshot)
+        captured.update(fresh)
+        sizes = dict(self._snapshot_sizes)
+        for key in fresh:
+            sizes[key] = self._storage.record_size(key)
+        seq = self._ckpt_seq + 1
+        record = ckpt.build_snapshot_record(seq, captured, sizes)
+        size = ckpt.snapshot_store_size(sizes.values())
+        self._ckpt_in_progress = True
+        trace = self._trace
+        if trace.wants(tracing.CKPT_BEGIN):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.CKPT_BEGIN,
+                    pid=self.pid,
+                    detail={"seq": seq, "entries": len(captured)},
+                )
+            )
+        else:
+            trace.tick(tracing.CKPT_BEGIN, self._kernel.now, self.pid)
+        incarnation = self.incarnation
+        self._storage.store(
+            ckpt.TENTATIVE_KEY,
+            record,
+            size,
+            on_durable=lambda: self._on_ckpt_tentative(
+                incarnation, seq, record, size, fresh, captured, sizes
+            ),
+        )
+        return True
+
+    def _on_ckpt_tentative(
+        self,
+        incarnation: int,
+        seq: int,
+        record: Tuple[Any, ...],
+        size: int,
+        fresh: Dict[str, Tuple[Any, ...]],
+        captured: Dict[str, Tuple[Any, ...]],
+        sizes: Dict[str, int],
+    ) -> None:
+        if incarnation != self.incarnation or self.state != UP:
+            return
+        trace = self._trace
+        if trace.wants(tracing.CKPT_TENTATIVE):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.CKPT_TENTATIVE,
+                    pid=self.pid,
+                    detail={"seq": seq},
+                )
+            )
+        else:
+            trace.tick(tracing.CKPT_TENTATIVE, self._kernel.now, self.pid)
+        # A trace trigger (TornStore) may have crashed us during the
+        # emit above -- exactly between the two phases; the permanent
+        # store must then never be issued.
+        if incarnation != self.incarnation or self.state != UP:
+            return
+        self._storage.store(
+            ckpt.PERMANENT_KEY,
+            record,
+            size,
+            on_durable=lambda: self._on_ckpt_commit(
+                incarnation, seq, fresh, captured, sizes
+            ),
+        )
+
+    def _on_ckpt_commit(
+        self,
+        incarnation: int,
+        seq: int,
+        fresh: Dict[str, Tuple[Any, ...]],
+        captured: Dict[str, Tuple[Any, ...]],
+        sizes: Dict[str, int],
+    ) -> None:
+        if incarnation != self.incarnation or self.state != UP:
+            return
+        self._ckpt_seq = seq
+        self._snapshot.clear()
+        self._snapshot.update(captured)
+        self._snapshot_sizes = sizes
+        # Truncate the log entries the snapshot supersedes -- but only
+        # where the live record is still the captured one; a store that
+        # landed after capture re-creates the key and must survive so
+        # recovery replays it the normal way.
+        storage = self._storage
+        live = storage.records
+        truncated = 0
+        for key, captured_record in fresh.items():
+            if live.get(key) == captured_record:
+                storage.delete(key)
+                truncated += 1
+        storage.delete(ckpt.TENTATIVE_KEY)
+        storage.compact()
+        self._ckpt_in_progress = False
+        self.checkpoints_committed += 1
+        trace = self._trace
+        if trace.wants(tracing.CKPT_COMMIT):
+            trace.emit(
+                TraceEvent(
+                    time=self._kernel.now,
+                    kind=tracing.CKPT_COMMIT,
+                    pid=self.pid,
+                    detail={
+                        "seq": seq,
+                        "entries": len(captured),
+                        "truncated": truncated,
+                    },
+                )
+            )
+        else:
+            trace.tick(tracing.CKPT_COMMIT, self._kernel.now, self.pid)
 
     @property
     def ready(self) -> bool:
@@ -410,8 +647,10 @@ class SimNode:
     # -- event entry points ---------------------------------------------------
 
     def _on_envelope(self, envelope: Envelope) -> None:
-        if self.state == CRASHED:
-            return  # a crashed process receives nothing
+        if self.state == CRASHED or self._scanning:
+            # A crashed process receives nothing; one still scanning
+            # its log back is not listening yet either.
+            return
         message = envelope.message
         if message.__class__ is MuxBatch:
             for frame in message.frames:
@@ -527,6 +766,12 @@ class SimNode:
                     s.ready for s in self._slots.values()
                 ):
                     self.state = UP
+                    if self._recover_began is not None:
+                        duration = self._kernel.now - self._recover_began
+                        self._recover_began = None
+                        self.recovery_times.append(duration)
+                        if self.on_recovery_time is not None:
+                            self.on_recovery_time(duration)
                 if self._trace.wants(tracing.RECOVERY_DONE):
                     self._trace.emit(
                         TraceEvent(
@@ -540,6 +785,8 @@ class SimNode:
                     self._trace.tick(
                         tracing.RECOVERY_DONE, self._kernel.now, self.pid
                     )
+            elif cls is Checkpoint:
+                self.begin_checkpoint()
             else:
                 raise ProtocolError(f"unknown effect {type(effect).__name__}")
 

@@ -59,7 +59,13 @@ CRASH = "crash"
 RECOVER = "recover"
 RECOVERY_DONE = "recovery_done"
 TIMER = "timer"
+CKPT_BEGIN = "ckpt_begin"
+CKPT_TENTATIVE = "ckpt_tentative"
+CKPT_COMMIT = "ckpt_commit"
 
+# The ring encodes kinds positionally (KIND_IDS below), so new kinds
+# must be appended at the end to keep old flight-recorder exports
+# decodable.
 ALL_KINDS = (
     SEND,
     DELIVER,
@@ -73,6 +79,9 @@ ALL_KINDS = (
     RECOVER,
     RECOVERY_DONE,
     TIMER,
+    CKPT_BEGIN,
+    CKPT_TENTATIVE,
+    CKPT_COMMIT,
 )
 
 #: kind name -> ring code, the binary encoding of the flight recorder.

@@ -67,6 +67,46 @@ def run_scenario(protocol: str, flight_recorder: bool = True) -> str:
     return serialize(cluster, report)
 
 
+def run_checkpoint_scenario(flight_recorder: bool = True) -> str:
+    """The checkpointing variant of the fixed-seed scenario.
+
+    Same cluster, network adversary and downtime window as
+    :func:`run_scenario` on the persistent protocol, plus periodic
+    checkpoints and recovery-scan billing -- so the two-phase
+    checkpoint events (``ckpt_begin``/``ckpt_tentative``/
+    ``ckpt_commit``), the log truncation they trigger, and the
+    scan-delayed recovery all land in the golden transcript.
+    """
+    config = ClusterConfig(
+        num_processes=3,
+        network=NetworkConfig(
+            max_jitter=20e-6,
+            drop_probability=0.05,
+            duplicate_probability=0.05,
+        ),
+        storage=StorageConfig(max_jitter=10e-6),
+        seed=1234,
+    )
+    cluster = SimCluster(
+        protocol="persistent",
+        config=config,
+        capture_trace=True,
+        flight_recorder=flight_recorder,
+        checkpoint_interval=1.5e-3,
+        recovery_scan=True,
+    )
+    cluster.start()
+    cluster.install_schedule(CrashSchedule().downtime(2, 0.004, 0.009))
+    report = run_closed_loop(
+        cluster, operations_per_client=6, read_fraction=0.5, seed=42, timeout=60.0
+    )
+    # The workload drains before the 9ms recovery; drive the cluster
+    # through it and a few more checkpoint intervals so commits,
+    # truncation and the scan-delayed recovery all reach the golden.
+    cluster.kernel.run(until=0.012)
+    return serialize(cluster, report)
+
+
 def serialize(cluster: SimCluster, report) -> str:
     lines: List[str] = [str(event) for event in cluster.trace.events]
     network = cluster.network

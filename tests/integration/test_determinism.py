@@ -14,10 +14,13 @@ Regenerate the goldens (only after deliberately changing observable
 behavior) with::
 
     PYTHONPATH=src python -c "
-    from tests.integration.determinism_scenario import PROTOCOLS, run_scenario
+    from tests.integration.determinism_scenario import (
+        PROTOCOLS, run_checkpoint_scenario, run_scenario)
     import pathlib
     for p in PROTOCOLS:
         pathlib.Path('tests/data/determinism/%s.txt' % p).write_text(run_scenario(p))
+    pathlib.Path('tests/data/determinism/persistent-checkpoint.txt').write_text(
+        run_checkpoint_scenario())
     "
 """
 
@@ -25,7 +28,11 @@ from pathlib import Path
 
 import pytest
 
-from tests.integration.determinism_scenario import PROTOCOLS, run_scenario
+from tests.integration.determinism_scenario import (
+    PROTOCOLS,
+    run_checkpoint_scenario,
+    run_scenario,
+)
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "determinism"
 
@@ -36,9 +43,21 @@ def test_seeded_run_matches_pre_fastpath_golden(protocol):
     assert run_scenario(protocol) == golden
 
 
+def test_checkpointed_run_matches_golden():
+    # The checkpoint/compaction layer gets its own golden: the
+    # two-phase trace events and the scan-delayed recovery are part of
+    # the engine's observable behavior now.
+    golden = (GOLDEN_DIR / "persistent-checkpoint.txt").read_text()
+    assert run_checkpoint_scenario() == golden
+
+
 @pytest.mark.parametrize("protocol", ["persistent", "transient"])
 def test_consecutive_runs_are_identical(protocol):
     # Same process, same seed, twice in a row: the serialization's
     # operation-id renumbering must absorb the global id counter and
     # everything else must be a pure function of the seed.
     assert run_scenario(protocol) == run_scenario(protocol)
+
+
+def test_consecutive_checkpointed_runs_are_identical():
+    assert run_checkpoint_scenario() == run_checkpoint_scenario()

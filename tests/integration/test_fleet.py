@@ -156,7 +156,7 @@ def test_unguarded_main_module_gets_actionable_error(tmp_path):
     assert "if __name__ == '__main__':" in proc.stderr
 
 
-def test_cli_fleet_writes_v3_fleet_payload(tmp_path):
+def test_cli_fleet_writes_versioned_fleet_payload(tmp_path):
     out = cli.run(
         [
             "fleet",
@@ -171,7 +171,7 @@ def test_cli_fleet_writes_v3_fleet_payload(tmp_path):
     assert "fleet: 4 runs" in out
     assert "PASS" in out
     payload = json.loads((tmp_path / "BENCH_soak.json").read_text())
-    assert payload["schema"] == "repro-bench/3"
+    assert payload["schema"] == "repro-bench/4"
     fleet = payload["fleet"]
     assert fleet["workers"] == 2
     assert fleet["verdict"] is True

@@ -48,6 +48,41 @@ class TestFileStableStorage:
         assert storage.stores_completed == 1
         assert storage.bytes_logged == 100
 
+    def test_leftover_tmp_files_are_removed_on_load(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("k", ("v",), size=1)
+        # A crash between write and rename leaves a partial .tmp file.
+        (tmp_path / "n0" / "torn.12345678.tmp").write_bytes(b"partial")
+        fresh = FileStableStorage(tmp_path / "n0")
+        assert fresh.retrieve("k") == ("v",)
+        assert not list((tmp_path / "n0").glob("*.tmp"))
+
+    def test_corrupt_record_is_quarantined_not_fatal(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("good", ("kept",), size=1)
+        storage.store("bad", ("mangled",), size=1)
+        bad_path = storage._path("bad")
+        bad_path.write_bytes(b"\x00garbage not pickle")
+        fresh = FileStableStorage(tmp_path / "n0")
+        assert fresh.retrieve("good") == ("kept",)
+        assert fresh.retrieve("bad") is None
+        assert fresh.records_quarantined == 1
+        quarantined = list((tmp_path / "n0").glob("*.corrupt"))
+        assert len(quarantined) == 1
+        # Quarantined files no longer match the record glob: the next
+        # reload does not re-quarantine.
+        again = FileStableStorage(tmp_path / "n0")
+        assert again.records_quarantined == 0
+
+    def test_delete_is_durable(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0")
+        storage.store("k", ("v",), size=1)
+        storage.delete("k")
+        assert storage.retrieve("k") is None
+        fresh = FileStableStorage(tmp_path / "n0")
+        assert fresh.retrieve("k") is None
+        storage.delete("missing")  # no-op, no raise
+
 
 @pytest.fixture(scope="module")
 def live_cluster():
@@ -110,6 +145,31 @@ class TestLiveTransient:
             cluster.recover_node(1)
             record = cluster.nodes[1].storage.retrieve("recovered")
             assert record == (2,)
+
+
+class TestLiveCheckpoint:
+    def test_checkpoint_truncates_and_recovery_restores(self, tmp_path):
+        from repro.storage import checkpoint as ckpt
+
+        with LiveCluster(
+            protocol="persistent", num_processes=3, storage_root=tmp_path
+        ) as cluster:
+            cluster.write(0, "snapshot-me")
+            node = cluster.nodes[1]
+            assert node.checkpoint() is True
+            storage = node.storage
+            # Truncated into the snapshot, durable on disk, no stray
+            # tentative record left behind.
+            assert storage.retrieve("written") is None
+            assert storage.retrieve(ckpt.PERMANENT_KEY) is not None
+            assert storage.retrieve(ckpt.TENTATIVE_KEY) is None
+            assert node.checkpoints_committed == 1
+            # Unchanged state: a second call is a no-op.
+            assert node.checkpoint() is False
+            cluster.crash_node(1)
+            cluster.recover_node(1)
+            assert cluster.read(1) == "snapshot-me"
+            assert check_persistent_atomicity(cluster.recorder.history).ok
 
 
 class TestLiveCausalLogs:

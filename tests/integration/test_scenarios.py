@@ -29,6 +29,8 @@ SMALL_OPS = 120
         "crash-during-write",
         "partition-heal",
         "recovery-storm",
+        "crash-mid-checkpoint",
+        "checkpointed-recovery-storm",
         "zipfian-contention",
     ],
 )
@@ -78,6 +80,27 @@ def test_faults_actually_fire():
     assert storm.crashes >= 2
     assert storm.messages_dropped > 0
     assert storm.verdict
+
+
+def test_checkpoint_scenarios_exercise_the_layer():
+    torn = run_scenario(get_scenario("crash-mid-checkpoint"), seed=0)
+    assert torn.verdict
+    # Both the torn-checkpoint crash (trace-triggered on process 1)
+    # and the post-corruption restart of process 2 fired and recovered.
+    assert torn.crashes >= 2 and torn.recoveries >= 2
+    assert torn.recovery_times and set(torn.recovery_times) == {1, 2}
+
+    storm = run_scenario(get_scenario("checkpointed-recovery-storm"), seed=0)
+    assert storm.verdict
+    assert storm.crashes >= 2
+    # Recovery-scan billing: every recovery took measurable virtual time.
+    assert storm.recovery_times
+    assert all(
+        duration > 0
+        for times in storm.recovery_times.values()
+        for duration in times
+    )
+    assert "recovery times:" in storm.summary()
 
 
 @pytest.mark.parametrize("protocol", ["crash-stop", "transient", "persistent"])

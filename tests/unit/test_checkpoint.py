@@ -1,0 +1,231 @@
+"""Unit tests for the checkpoint/compaction layer.
+
+Covers the pure helpers of :mod:`repro.storage.checkpoint`, the
+snapshot-aware :class:`~repro.protocol.base.StableView`, the simulated
+node's two-phase checkpoint state machine (commit, truncation, torn
+crash, scan-delayed recovery, the recovery fast path), and the storage
+fault verbs the scenarios arm.
+"""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.protocol.base import Checkpoint, StableView
+from repro.scenarios.faults import TornStore
+from repro.sim import tracing
+from repro.storage import checkpoint as ckpt
+
+
+def started_cluster(n=3, **kwargs):
+    cluster = SimCluster(protocol="persistent", num_processes=n, **kwargs)
+    cluster.start()
+    return cluster
+
+
+def run_intervals(cluster, interval, count):
+    """Drive the kernel ``count`` checkpoint intervals past now."""
+    cluster.kernel.run(until=cluster.kernel.now + count * interval)
+
+
+INTERVAL = 1e-3
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+class TestCheckpointHelpers:
+    def test_snapshot_record_round_trip(self):
+        record = ckpt.build_snapshot_record(
+            3, {"b": (2,), "a": (1,)}, {"a": 10, "b": 20}
+        )
+        seq, records, sizes = ckpt.load_snapshot(record)
+        assert seq == 3
+        assert records == {"a": (1,), "b": (2,)}
+        assert sizes == {"a": 10, "b": 20}
+        # Entries are sorted so equal snapshots serialize identically.
+        assert record[1][0][0] == "a"
+
+    def test_load_missing_snapshot(self):
+        assert ckpt.load_snapshot(None) == (0, {}, {})
+
+    def test_snapshot_seq(self):
+        record = ckpt.build_snapshot_record(7, {}, {})
+        assert ckpt.snapshot_seq(record) == 7
+
+    def test_snapshot_store_size_accounts_entries(self):
+        empty = ckpt.snapshot_store_size([])
+        assert empty == ckpt.SNAPSHOT_OVERHEAD
+        two = ckpt.snapshot_store_size([10, 20])
+        assert two == ckpt.SNAPSHOT_OVERHEAD + 30 + 2 * ckpt.ENTRY_OVERHEAD
+
+    def test_capturable_keys_filters_by_idle_prefix(self):
+        keys = [
+            "writing", "written", "reg/writing", "reg/written",
+            ckpt.TENTATIVE_KEY, ckpt.PERMANENT_KEY,
+        ]
+        # Only the default (unprefixed) slot is idle.
+        assert ckpt.capturable_keys(keys, [""]) == ["writing", "written"]
+        # Only the named slot is idle.
+        assert ckpt.capturable_keys(keys, ["reg/"]) == [
+            "reg/writing", "reg/written",
+        ]
+        # Checkpoint bookkeeping keys are never captured.
+        assert ckpt.capturable_keys(keys, ["", "reg/"]) == [
+            "writing", "written", "reg/writing", "reg/written",
+        ]
+
+    def test_is_checkpoint_key(self):
+        assert ckpt.is_checkpoint_key(ckpt.TENTATIVE_KEY)
+        assert ckpt.is_checkpoint_key(ckpt.PERMANENT_KEY)
+        assert not ckpt.is_checkpoint_key("writing")
+
+
+class TestStableViewSnapshot:
+    def test_retrieve_falls_back_to_snapshot(self):
+        view = StableView({"live": (1,)}, {"snap": (2,), "live": (9,)})
+        assert view.retrieve("live") == (1,)  # live record wins
+        assert view.retrieve("snap") == (2,)
+        assert view.retrieve("missing") is None
+
+    def test_checkpointed_means_snapshot_only(self):
+        view = StableView({"live": (1,)}, {"snap": (2,), "live": (9,)})
+        assert view.checkpointed("snap")
+        assert not view.checkpointed("live")  # re-logged since capture
+        assert not view.checkpointed("missing")
+
+    def test_contains_and_keys_merge(self):
+        view = StableView({"a": (1,)}, {"b": (2,)})
+        assert "a" in view and "b" in view
+        assert set(view.keys()) == {"a", "b"}
+
+    def test_scoped_view_keeps_the_snapshot(self):
+        view = StableView(
+            {"reg/writing": (1,)}, {"reg/written": (2,)}
+        ).scoped("reg/")
+        assert view.retrieve("writing") == (1,)
+        assert view.retrieve("written") == (2,)
+        assert view.checkpointed("written")
+        assert not view.checkpointed("writing")
+
+
+# -- the simulated node's two-phase state machine ----------------------------
+
+
+class TestSimNodeCheckpoint:
+    def test_checkpoint_commits_and_truncates(self):
+        cluster = started_cluster(checkpoint_interval=INTERVAL)
+        cluster.write_sync(0, "durable")
+        run_intervals(cluster, INTERVAL, 3)
+        node = cluster.node(0)
+        assert node.checkpoints_committed >= 1
+        storage = node.storage
+        # The captured log records were truncated into the snapshot...
+        assert "written" not in storage.records
+        assert "writing" not in storage.records
+        assert storage.retrieve(ckpt.PERMANENT_KEY) is not None
+        assert storage.retrieve(ckpt.TENTATIVE_KEY) is None
+        # ...but the protocol still sees them through its StableView.
+        view = node._stable_view
+        assert view.retrieve("written") is not None
+        assert view.checkpointed("written")
+        # Compaction reset the log footprint to the live records.
+        assert storage.compactions >= 1
+        assert storage.log_records == len(storage.records)
+
+    def test_unchanged_state_needs_no_new_checkpoint(self):
+        cluster = started_cluster(checkpoint_interval=INTERVAL)
+        cluster.write_sync(0, "once")
+        run_intervals(cluster, INTERVAL, 3)
+        node = cluster.node(0)
+        committed = node.checkpoints_committed
+        run_intervals(cluster, INTERVAL, 5)
+        assert node.checkpoints_committed == committed
+
+    def test_recovery_restores_from_snapshot(self):
+        cluster = started_cluster(checkpoint_interval=INTERVAL)
+        cluster.write_sync(0, "pre-crash")
+        run_intervals(cluster, INTERVAL, 3)
+        assert cluster.node(1).checkpoints_committed >= 1
+        cluster.crash(1)
+        cluster.recover(1, wait=True)
+        node = cluster.node(1)
+        assert node.recovery_times  # duration recorded
+        assert cluster.read_sync(1) == "pre-crash"
+
+    def test_post_snapshot_write_defeats_the_fast_path(self):
+        cluster = started_cluster(checkpoint_interval=INTERVAL)
+        cluster.write_sync(0, "old")
+        run_intervals(cluster, INTERVAL, 3)
+        cluster.write_sync(0, "new")  # re-logs writing past the snapshot
+        cluster.crash(1)
+        cluster.recover(1, wait=True)
+        assert cluster.read_sync(1) == "new"
+
+    def test_torn_checkpoint_recovers_from_previous_snapshot(self):
+        cluster = started_cluster(checkpoint_interval=INTERVAL)
+        TornStore(pid=1).arm(cluster)
+        cluster.write_sync(0, "torn")
+        run_intervals(cluster, INTERVAL, 3)
+        node = cluster.node(1)
+        assert node.crashed
+        storage = node.storage
+        # The crash landed between the phases: tentative durable,
+        # permanent absent, nothing truncated.
+        assert storage.retrieve(ckpt.TENTATIVE_KEY) is not None
+        assert storage.retrieve(ckpt.PERMANENT_KEY) is None
+        assert storage.retrieve("written") is not None
+        cluster.recover(1, wait=True)
+        # The stray tentative was ignored: no snapshot, log intact.
+        assert node._ckpt_seq == 0
+        assert cluster.read_sync(1) == "torn"
+        # The next committed checkpoint supersedes the stray record.
+        run_intervals(cluster, INTERVAL, 3)
+        assert node.checkpoints_committed >= 1
+        assert storage.retrieve(ckpt.TENTATIVE_KEY) is None
+
+    def test_checkpoint_effect_triggers_one(self):
+        cluster = started_cluster(checkpoint_interval=INTERVAL)
+        cluster.write_sync(0, "scripted")
+        node = cluster.node(0)
+        node._execute([Checkpoint()], depth=0, op=None, slot=node._slots[None])
+        assert node._ckpt_in_progress
+        cluster.kernel.run(until=cluster.kernel.now + 5e-4)
+        assert node.checkpoints_committed == 1
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(Exception):
+            SimCluster(
+                protocol="persistent", num_processes=3, checkpoint_interval=0.0
+            )
+
+    def test_checkpoint_trace_kinds_are_appended(self):
+        # KIND_IDS are positional in the flight-recorder ring encoding;
+        # the checkpoint kinds must extend, never reorder, the list.
+        assert tracing.ALL_KINDS[-3:] == (
+            tracing.CKPT_BEGIN, tracing.CKPT_TENTATIVE, tracing.CKPT_COMMIT,
+        )
+
+
+class TestScanDelayedRecovery:
+    def test_recovery_scan_bills_the_log(self):
+        plain = started_cluster(seed=9)
+        scanned = started_cluster(seed=9, recovery_scan=True)
+        for cluster in (plain, scanned):
+            cluster.write_sync(0, "x")
+            cluster.crash(1)
+            cluster.recover(1, wait=True)
+        assert scanned.node(1).recovery_times[-1] > plain.node(1).recovery_times[-1]
+
+    def test_checkpointing_bounds_the_scan(self):
+        def recovery_time(**kwargs):
+            cluster = started_cluster(seed=4, recovery_scan=True, **kwargs)
+            for i in range(20):
+                cluster.write_sync(0, f"v{i}")
+            run_intervals(cluster, INTERVAL, 3)
+            cluster.crash(1)
+            cluster.recover(1, wait=True)
+            return cluster.node(1).recovery_times[-1]
+
+        compacted = recovery_time(checkpoint_interval=INTERVAL)
+        unbounded = recovery_time()
+        assert compacted < unbounded

@@ -83,14 +83,14 @@ class TestExecution:
         )
         assert "engine" in text and "checker" in text and "kv" in text
         engine = json.loads((tmp_path / "BENCH_engine.json").read_text())
-        assert engine["schema"] == "repro-bench/3"
+        assert engine["schema"] == "repro-bench/4"
         assert set(engine["engine"]) == {"crash-stop", "transient", "persistent"}
         for data in engine["engine"].values():
             assert data["ops_per_sec"] > 0
             assert data["wall"]["p50_s"] > 0
             assert data["wall"]["p99_s"] >= data["wall"]["p50_s"]
         checker = json.loads((tmp_path / "BENCH_checker.json").read_text())
-        assert checker["schema"] == "repro-bench/3"
+        assert checker["schema"] == "repro-bench/4"
         assert checker["checker"]["blackbox_30_ops"]["operations"] == 30
         for size in (1000, 10000):
             for criterion in ("persistent", "transient"):

@@ -192,10 +192,11 @@ class TestFleetReport:
 
 
 class TestBenchSchema:
-    def test_writer_stamps_v3_and_readers_accept_both(self):
-        assert SCHEMA == "repro-bench/3"
+    def test_writer_stamps_v4_and_readers_accept_older(self):
+        assert SCHEMA == "repro-bench/4"
         assert SCHEMA in SUPPORTED_SCHEMAS
         assert "repro-bench/2" in SUPPORTED_SCHEMAS
+        assert "repro-bench/3" in SUPPORTED_SCHEMAS
 
     def test_load_bench_payload_round_trip(self, tmp_path):
         import json

@@ -23,6 +23,7 @@ import repro.api as api
 from repro.api import (
     CRASH_INJECTION,
     SHARDING,
+    STORAGE_FAULTS,
     TRACE,
     VIRTUAL_TIME,
     Verdict,
@@ -48,6 +49,7 @@ EXPORTED_NAMES = [
     "MetricsSnapshot",
     "OpHandle",
     "SHARDING",
+    "STORAGE_FAULTS",
     "Session",
     "SimBackend",
     "TRACE",
@@ -118,10 +120,10 @@ class TestSnapshot:
 
     def test_capability_matrix(self):
         assert api.SimBackend.capabilities == frozenset(
-            {VIRTUAL_TIME, CRASH_INJECTION, TRACE}
+            {VIRTUAL_TIME, CRASH_INJECTION, TRACE, STORAGE_FAULTS}
         )
         assert api.KVBackend.capabilities == frozenset(
-            {VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE}
+            {VIRTUAL_TIME, SHARDING, CRASH_INJECTION, TRACE, STORAGE_FAULTS}
         )
         assert api.LiveBackend.capabilities == frozenset({CRASH_INJECTION})
 

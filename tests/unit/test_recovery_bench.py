@@ -1,0 +1,89 @@
+"""Unit tests for the recovery-time SLO harness and its bench axis."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import SCHEMA, load_bench_payload
+from repro.experiments.recovery_bench import (
+    format_recovery_bench,
+    run_recovery_bench,
+    run_recovery_point,
+    write_recovery_file,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_recovery_bench(quick=True)
+
+
+class TestSweep:
+    def test_quick_sweep_covers_both_arms(self, quick_report):
+        assert {row.checkpointing for row in quick_report.rows} == {True, False}
+        assert len(quick_report.arm(True)) == len(quick_report.arm(False)) == 2
+
+    def test_checkpointing_flattens_recovery(self, quick_report):
+        # The acceptance contrast: with checkpointing the footprint and
+        # recovery time stay flat in ops; without, both grow.
+        on, off = quick_report.growth(True), quick_report.growth(False)
+        assert on == pytest.approx(1.0, rel=0.25)
+        assert off > 1.25
+        for ops in {row.ops for row in quick_report.rows}:
+            with_ckpt = next(
+                r for r in quick_report.rows
+                if r.ops == ops and r.checkpointing
+            )
+            without = next(
+                r for r in quick_report.rows
+                if r.ops == ops and not r.checkpointing
+            )
+            assert with_ckpt.log_records < without.log_records
+            assert with_ckpt.recovery_time_s < without.recovery_time_s
+            assert with_ckpt.checkpoints_committed > 0
+            assert without.checkpoints_committed == 0
+
+    def test_points_are_deterministic(self):
+        first = run_recovery_point(100, True, seed=3)
+        second = run_recovery_point(100, True, seed=3)
+        assert first.as_dict() == second.as_dict()
+
+
+class TestRecoveryAxisSchema:
+    def test_payload_shape(self, quick_report):
+        payload = quick_report.payload()
+        assert set(payload) == {
+            "quick", "seed", "num_processes", "victim",
+            "checkpoint_interval", "rows", "growth",
+        }
+        for row in payload["rows"]:
+            assert set(row) == {
+                "ops", "checkpointing", "log_records", "log_bytes",
+                "recovery_time_s", "checkpoints_committed", "compactions",
+            }
+        assert set(payload["growth"]) == {"checkpointing", "no_checkpointing"}
+
+    def test_write_merges_into_existing_engine_file(self, quick_report, tmp_path):
+        # A v3 file from an older writer keeps its keys and is
+        # re-stamped with the current schema.
+        existing = {"schema": "repro-bench/3", "suite": "engine", "engine": {"x": 1}}
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(existing))
+        written = write_recovery_file(quick_report, str(tmp_path))
+        payload = load_bench_payload(written)
+        assert payload["schema"] == SCHEMA == "repro-bench/4"
+        assert payload["engine"] == {"x": 1}
+        assert payload["recovery"]["rows"]
+
+    def test_write_creates_missing_engine_file(self, quick_report, tmp_path):
+        written = write_recovery_file(quick_report, str(tmp_path))
+        payload = load_bench_payload(written)
+        assert payload["schema"] == SCHEMA
+        assert payload["suite"] == "engine"
+        assert payload["recovery"]["checkpoint_interval"] > 0
+
+    def test_format_reports_the_contrast(self, quick_report):
+        text = format_recovery_bench(quick_report)
+        assert "checkpointing" in text
+        assert "recovery-time growth" in text
+        assert "ms" in text

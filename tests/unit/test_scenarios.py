@@ -279,6 +279,8 @@ def test_library_has_the_advertised_scenarios():
         "crash-during-write",
         "partition-heal",
         "recovery-storm",
+        "crash-mid-checkpoint",
+        "checkpointed-recovery-storm",
         "zipfian-contention",
         "trace-capture",
         "soak-100k",

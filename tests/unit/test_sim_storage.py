@@ -122,3 +122,92 @@ class TestSequentialDevice:
         storage.store("a", (1,), size=1000, on_durable=lambda: times.append(kernel.now))
         kernel.run()
         assert times[0] == pytest.approx(1e-3)
+
+
+class TestLogAccounting:
+    def test_log_grows_per_completed_store(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("a",), size=10, on_durable=lambda: None)
+        storage.store("k", ("b",), size=20, on_durable=lambda: None)
+        kernel.run()
+        # Append-only model: overwrites still grow the un-compacted log.
+        assert storage.log_records == 2
+        assert storage.log_bytes == 30
+
+    def test_compact_resets_to_live_records(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("a",), size=10, on_durable=lambda: None)
+        storage.store("k", ("b",), size=20, on_durable=lambda: None)
+        kernel.run()
+        storage.compact()
+        assert storage.compactions == 1
+        assert storage.log_records == 1
+        assert storage.log_bytes == 20  # only the live record's size
+
+    def test_delete_shrinks_footprint_only_after_compaction(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("v",), size=10, on_durable=lambda: None)
+        kernel.run()
+        storage.delete("k")
+        assert storage.retrieve("k") is None
+        assert storage.log_records == 1  # still on the device
+        storage.compact()
+        assert storage.log_records == 0
+        assert storage.log_bytes == 0
+
+    def test_recovery_scan_latency_is_linear_in_the_log(self):
+        kernel, storage = make_storage(
+            base_latency=1e-4, bandwidth=1e6, max_jitter=0.0
+        )
+        assert storage.recovery_scan_latency() == 0.0
+        storage.store("a", (1,), size=1000, on_durable=lambda: None)
+        storage.store("b", (2,), size=1000, on_durable=lambda: None)
+        kernel.run()
+        # 2 records * base_latency + 2000 bytes / bandwidth, no jitter.
+        assert storage.recovery_scan_latency() == pytest.approx(2e-4 + 2e-3)
+
+    def test_record_size(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("v",), size=123, on_durable=lambda: None)
+        kernel.run()
+        assert storage.record_size("k") == 123
+        assert storage.record_size("missing") == 0
+
+
+class TestFaultInjection:
+    def test_corrupt_drops_the_record(self):
+        kernel, storage = make_storage()
+        storage.store("k", ("v",), size=1, on_durable=lambda: None)
+        kernel.run()
+        assert storage.corrupt("k") is True
+        assert storage.retrieve("k") is None
+        assert storage.records_corrupted == 1
+        assert storage.corrupt("missing") is False
+
+    def test_lost_store_acknowledges_but_never_lands(self):
+        kernel, storage = make_storage()
+        done = []
+        storage.lose_next_stores(1)
+        storage.store("k", ("v",), size=1, on_durable=lambda: done.append(1))
+        kernel.run()
+        assert done == [1]  # the lying fsync still acknowledges
+        assert storage.retrieve("k") is None
+        assert storage.stores_lost == 1
+        # The loss budget is consumed: the next store is durable.
+        storage.store("k", ("v2",), size=1, on_durable=lambda: None)
+        kernel.run()
+        assert storage.retrieve("k") == ("v2",)
+
+    def test_slow_window_adds_latency(self):
+        kernel, storage = make_storage(
+            base_latency=1e-4, bandwidth=1e12, max_jitter=0.0
+        )
+        times = []
+        storage.set_slow(5e-4)
+        storage.store("a", (1,), size=1, on_durable=lambda: times.append(kernel.now))
+        kernel.run()
+        storage.clear_slow()
+        storage.store("b", (2,), size=1, on_durable=lambda: times.append(kernel.now))
+        kernel.run()
+        assert times[0] == pytest.approx(6e-4)
+        assert times[1] - times[0] == pytest.approx(1e-4)

@@ -19,6 +19,7 @@ Usage::
     python -m repro trace crash-during-write --format chrome
     python -m repro stats soak-100k --quick
     python -m repro trace-bench [--quick]
+    python -m repro lint [--format json] [--rule DET001] [--check-stale]
     python -m repro all
 
 The figure/table subcommands print the same rows/series the paper
@@ -26,7 +27,9 @@ reports (see docs/protocols.md for the paper-vs-measured mapping);
 ``bench`` and ``soak`` track the engine's own performance and the
 scenario suite (see docs/benchmarks.md and docs/scenarios.md);
 ``trace``/``stats``/``trace-bench`` surface the observability layer
-(see docs/observability.md).
+(see docs/observability.md); ``lint`` statically checks the
+determinism and contract invariants (see docs/determinism.md) and is
+the one subcommand that exits nonzero, when findings remain.
 """
 
 from __future__ import annotations
@@ -34,6 +37,19 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict, List, Optional
+
+
+class CommandFailed(Exception):
+    """A subcommand produced output but the process must exit nonzero.
+
+    ``repro lint`` raises this when findings remain: the report is in
+    ``output`` (so :func:`run` callers and tests still see it), and
+    :func:`main` turns it into exit status 1 for CI.
+    """
+
+    def __init__(self, output: str) -> None:
+        super().__init__(output)
+        self.output = output
 
 
 def _seed_kw(args: argparse.Namespace) -> Dict[str, int]:
@@ -522,6 +538,35 @@ def _cmd_recovery_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.lint import LintError, lint_paths, lint_tree
+
+    rules = getattr(args, "rule", None) or None
+    check_stale = getattr(args, "check_stale", False)
+    paths = getattr(args, "paths", None)
+    try:
+        if paths:
+            report = lint_paths(
+                [Path(p) for p in paths],
+                rule_ids=rules,
+                check_stale=check_stale,
+            )
+        else:
+            report = lint_tree(rule_ids=rules, check_stale=check_stale)
+    except LintError as exc:
+        raise CommandFailed(f"repro lint: error: {exc}")
+    text = (
+        report.format_json()
+        if getattr(args, "format", "text") == "json"
+        else report.format_text()
+    )
+    if not report.clean:
+        raise CommandFailed(text)
+    return text
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure6-top": _cmd_figure6_top,
     "figure6-bottom": _cmd_figure6_bottom,
@@ -540,14 +585,17 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "stats": _cmd_stats,
     "trace-bench": _cmd_trace_bench,
     "recovery-bench": _cmd_recovery_bench,
+    "lint": _cmd_lint,
 }
 
 #: Subcommands ``repro all`` skips: the flight-recorder diagnostics
 #: want an explicit scenario, the trace-overhead A/B takes minutes at
-#: its full budget, and the fleet spawns a process pool sized to the
-#: machine -- run them deliberately (``repro trace`` / ``repro stats``
-#: / ``repro trace-bench`` / ``repro fleet``).
-SKIPPED_BY_ALL = frozenset({"trace", "stats", "trace-bench", "fleet"})
+#: its full budget, the fleet spawns a process pool sized to the
+#: machine, and the linter is a static check with its own exit-status
+#: contract, not an experiment -- run them deliberately (``repro
+#: trace`` / ``repro stats`` / ``repro trace-bench`` / ``repro
+#: fleet`` / ``repro lint``).
+SKIPPED_BY_ALL = frozenset({"trace", "stats", "trace-bench", "fleet", "lint"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -732,6 +780,35 @@ def build_parser() -> argparse.ArgumentParser:
                 "directory)",
             )
             continue
+        if name == "lint":
+            # No ``common`` parent: the linter is static analysis and
+            # takes no seed; run() skips the seed line for it too.
+            sub = subparsers.add_parser(
+                name,
+                help="statically check determinism & contract "
+                "invariants; exits nonzero on findings "
+                "(docs/determinism.md)",
+            )
+            sub.add_argument(
+                "paths", nargs="*", default=None,
+                help="files to lint (default: every module under "
+                "src/repro)",
+            )
+            sub.add_argument(
+                "--format", choices=("text", "json"), default="text",
+                help="report format (default: text)",
+            )
+            sub.add_argument(
+                "--rule", action="append", default=None, metavar="ID",
+                help="check only this rule id (repeatable; default: "
+                "every registered rule)",
+            )
+            sub.add_argument(
+                "--check-stale", dest="check_stale", action="store_true",
+                help="also report reasoned suppressions whose rule no "
+                "longer fires on that line (LINT002)",
+            )
+            continue
         if name == "recovery-bench":
             sub = subparsers.add_parser(
                 name, parents=[common],
@@ -809,11 +886,19 @@ def run(argv: Optional[List[str]] = None) -> str:
             sections.append(command(args))
             sections.append("")
         return "\n".join(sections)
+    if args.command == "lint":
+        # No seed line: lint output must stay machine-parseable
+        # (--format json) and seeds are meaningless to static checks.
+        return COMMANDS[args.command](args)
     return seed_report(args) + "\n\n" + COMMANDS[args.command](args)
 
 
 def main() -> int:
-    print(run(sys.argv[1:]))
+    try:
+        print(run(sys.argv[1:]))
+    except CommandFailed as failed:
+        print(failed.output)
+        return 1
     return 0
 
 

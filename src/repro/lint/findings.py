@@ -1,0 +1,40 @@
+"""The linter's output vocabulary: :class:`Finding`.
+
+A finding is one rule violation at one source location.  Findings are
+plain frozen data so the engine can sort, deduplicate and serialize
+them without caring which rule produced them; ``as_dict`` is the JSON
+shape ``repro lint --format json`` emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative (``src/repro/...``) so reports are
+    stable across checkouts; ``line`` is 1-based like every compiler's.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)

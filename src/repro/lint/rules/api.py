@@ -1,0 +1,118 @@
+"""API001: fault verbs must be declared in the backend's capabilities.
+
+The façade's promise (docs/api.md) is that backends differ by
+*declaration*, not special-casing: a verb outside a backend's
+``capabilities`` frozenset raises ``CapabilityError``.  The inverse
+must hold too -- a backend that *implements* a fault verb without
+declaring the gating capability silently widens its contract, and
+callers who branch on ``cluster.capabilities`` (the documented
+discipline) would never find the verb.
+
+The rule scans ``src/repro/api/`` for classes that look like backend
+adapters (a ``backend = "..."`` class attribute), resolves their
+``capabilities = frozenset({...})`` literal statically (capability
+constant names or string literals), and requires the mapped capability
+(:data:`repro.lint.config.FAULT_VERB_CAPABILITIES`) for every fault
+verb the class overrides.  Methods whose body immediately ``raise``
+(the abstract base's stubs, ``_unsupported`` re-raises) are not
+implementations and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleUnderLint, Rule, first_real_statement
+
+
+class API001(Rule):
+    """Implemented fault verbs must be capability-declared."""
+
+    id = "API001"
+    title = "fault verb outside the declared capabilities"
+
+    def applies(self, path: str, config: LintConfig) -> bool:
+        return config.is_api_module(path)
+
+    def check(
+        self, module: ModuleUnderLint, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node, module.path, config)
+
+    def _check_class(
+        self, cls: ast.ClassDef, path: str, config: LintConfig
+    ) -> Iterator[Finding]:
+        backend = _class_attr_str(cls, "backend")
+        if backend is None:
+            return
+        declared = _declared_capabilities(cls, config)
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            required = config.fault_verb_capabilities.get(stmt.name)
+            if required is None:
+                continue
+            if _is_stub(stmt):
+                continue
+            if required not in declared:
+                yield self.finding(
+                    path,
+                    stmt,
+                    f"backend {backend!r} implements fault verb "
+                    f"{stmt.name}() but does not declare the "
+                    f"{required!r} capability; add it to the class's "
+                    "capabilities frozenset (callers branch on "
+                    "capabilities, never on backend type)",
+                )
+
+
+def _class_attr_str(cls: ast.ClassDef, name: str) -> Optional[str]:
+    """The class-level ``name = "literal"`` value, if present."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            if name in targets and isinstance(stmt.value, ast.Constant):
+                value = stmt.value.value
+                return value if isinstance(value, str) else None
+    return None
+
+
+def _declared_capabilities(cls: ast.ClassDef, config: LintConfig) -> Set[str]:
+    """The class's ``capabilities`` frozenset, resolved to strings."""
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "capabilities"
+            for t in stmt.targets
+        ):
+            continue
+        resolved: Set[str] = set()
+        for node in ast.walk(stmt.value):
+            if isinstance(node, ast.Name):
+                value = config.capability_names.get(node.id)
+                if value is not None:
+                    resolved.add(value)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                resolved.add(node.value)
+        return resolved
+    return set()
+
+
+def _is_stub(fn) -> bool:
+    """Whether the method body is just a raise (an ungated stub)."""
+    stmt = first_real_statement(fn.body)
+    if stmt is None:
+        return True
+    if isinstance(stmt, ast.Raise):
+        return True
+    return False

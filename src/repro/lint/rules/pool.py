@@ -1,0 +1,194 @@
+"""POOL001: fleet dataclasses stay frozen and picklable.
+
+The PR 7 process pool re-hydrates :class:`~repro.scenarios.pool.RunSpec`
+and the fault primitives in ``spawn`` workers: everything that crosses
+that boundary must pickle, and the parity contract (a spec executed in
+a worker fingerprints byte-identically to the parent) depends on specs
+being immutable value objects.  The rule enforces, for every
+``@dataclass`` in the pool-boundary modules:
+
+* the decorator says ``frozen=True`` (a bare ``@dataclass`` or
+  ``frozen=False`` makes specs silently mutable -- hydration drift);
+* every field annotation resolves to a known-picklable shape --
+  scalars, strings, bytes, ``Optional``/``Tuple``/``FrozenSet``/
+  ``Sequence``/``Dict``/``List``/``Set`` over the same.  ``Callable``,
+  ``Any``, lambdas, locks and module/class handles are exactly the
+  types that either fail to pickle or pickle by identity surprise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleUnderLint, Rule, call_name
+
+#: Annotation heads considered picklable across a spawn boundary.
+_PICKLABLE_NAMES = {
+    "int",
+    "float",
+    "str",
+    "bool",
+    "bytes",
+    "complex",
+    "None",
+    "NoneType",
+    "Optional",
+    "Union",
+    "Tuple",
+    "tuple",
+    "List",
+    "list",
+    "Dict",
+    "dict",
+    "Set",
+    "set",
+    "FrozenSet",
+    "frozenset",
+    "Sequence",
+    "Mapping",
+    "Iterable",
+}
+
+
+class POOL001(Rule):
+    """Pool-boundary dataclasses must be frozen with picklable fields."""
+
+    id = "POOL001"
+    title = "unfrozen or unpicklable pool dataclass"
+
+    def applies(self, path: str, config: LintConfig) -> bool:
+        return config.is_pool_module(path)
+
+    def check(
+        self, module: ModuleUnderLint, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _is_frozen(decorator):
+                yield self.finding(
+                    module.path,
+                    node,
+                    f"dataclass {node.name} must declare frozen=True: "
+                    "it crosses the spawn-pool boundary and mutable "
+                    "specs break hydration parity",
+                )
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                offender = _unpicklable_head(stmt.annotation)
+                if offender is not None:
+                    field = (
+                        stmt.target.id
+                        if isinstance(stmt.target, ast.Name)
+                        else "?"
+                    )
+                    yield self.finding(
+                        module.path,
+                        stmt,
+                        f"field {node.name}.{field} is annotated with "
+                        f"{offender!r}, which does not pickle reliably "
+                        "across the spawn-pool boundary; use plain "
+                        "data (scalars, str, Optional/Tuple/FrozenSet "
+                        "of the same)",
+                    )
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.AST]:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if any."""
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if call_name(target).split(".")[-1] == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+#: Annotation heads that are known pickle hazards: by-identity
+#: surprises (``Any`` hides anything), unpicklable runtime objects, or
+#: code objects.
+_KNOWN_BAD_NAMES = {
+    "Any",
+    "Callable",
+    "Condition",
+    "Event",
+    "Generator",
+    "Iterator",
+    "Lock",
+    "Queue",
+    "RLock",
+    "Thread",
+    "lambda",
+}
+
+
+def _judge_name(name: str) -> Optional[str]:
+    if name in _PICKLABLE_NAMES:
+        return None
+    if name in _KNOWN_BAD_NAMES:
+        return name
+    if name[:1].isupper():
+        # A project type (e.g. another primitive in the same module):
+        # structurally picklable as long as its own dataclass passes
+        # this rule.
+        return None
+    return name
+
+
+def _unpicklable_head(annotation: ast.AST) -> Optional[str]:
+    """The first unpicklable name in the annotation, or ``None``.
+
+    Recurses structurally so nested parameters are covered
+    (``Optional[Tuple[int, Callable]]`` is flagged on ``Callable``);
+    string annotations are parsed and recursed into.
+    """
+    if isinstance(annotation, ast.Constant):
+        if isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval")
+            except SyntaxError:
+                return annotation.value
+            return _unpicklable_head(parsed.body)
+        # None in Optional spellings, Ellipsis in Tuple[int, ...].
+        return None
+    if isinstance(annotation, ast.Name):
+        return _judge_name(annotation.id)
+    if isinstance(annotation, ast.Attribute):
+        # ``typing.Optional[...]`` -- judge the attribute, not the
+        # module prefix.
+        return _judge_name(annotation.attr)
+    if isinstance(annotation, ast.Subscript):
+        head = _unpicklable_head(annotation.value)
+        if head is not None:
+            return head
+        return _unpicklable_head(annotation.slice)
+    if isinstance(annotation, ast.Tuple):
+        for element in annotation.elts:
+            head = _unpicklable_head(element)
+            if head is not None:
+                return head
+        return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _unpicklable_head(annotation.left) or _unpicklable_head(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Lambda):
+        return "lambda"
+    return None

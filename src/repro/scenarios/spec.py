@@ -18,7 +18,7 @@ timing meaningful at any budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.common.errors import ConfigurationError

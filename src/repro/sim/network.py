@@ -18,6 +18,10 @@ needs termination, matching the "eventually a majority is permanently
 up" assumption).
 """
 
+# repro: hot-path
+# (HOT001: every per-event emitter below must guard TraceEvent/emit
+# construction behind trace.wants() and tick() on the fast path.)
+
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple

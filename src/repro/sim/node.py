@@ -34,6 +34,10 @@ while the node was down); client operations are rejected until the
 slot signals :class:`~repro.protocol.base.RecoveryComplete`.
 """
 
+# repro: hot-path
+# (HOT001: every per-event emitter below must guard TraceEvent/emit
+# construction behind trace.wants() and tick() on the fast path.)
+
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional, Set, Tuple

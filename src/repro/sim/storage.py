@@ -32,6 +32,10 @@ lands -- a lying fsync), and :meth:`~SimStableStorage.set_slow`
 storage fault primitives in :mod:`repro.scenarios.faults`.
 """
 
+# repro: hot-path
+# (HOT001: every per-event emitter below must guard TraceEvent/emit
+# construction behind trace.wants() and tick() on the fast path.)
+
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple

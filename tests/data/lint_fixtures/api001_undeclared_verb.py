@@ -1,0 +1,14 @@
+"""API001 fixture: a fault verb implemented but not capability-declared."""
+
+# repro-lint: pretend src/repro/api/chaotic.py
+
+
+class ChaoticCluster:
+    backend = "chaotic"
+    capabilities = frozenset({"virtual_time", "trace"})
+
+    def crash(self, pid):
+        self._kernel.crash(pid)
+
+    def partition(self, groups):
+        self._net.partition(groups)

@@ -1,0 +1,13 @@
+"""DET001 fixture: unseeded randomness outside the RNG-owner modules."""
+
+import os
+import random
+import uuid
+
+
+def jitter(choices):
+    token = uuid.uuid4()
+    noise = os.urandom(8)
+    pick = random.choice(choices)
+    rng = random.Random()
+    return token, noise, pick, rng

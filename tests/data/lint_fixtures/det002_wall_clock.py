@@ -1,0 +1,10 @@
+"""DET002 fixture: a wall-clock read inside virtual-time code."""
+
+# repro-lint: pretend src/repro/sim/clockless.py
+
+import time
+
+
+def stamp(event):
+    event.at = time.time()
+    return event

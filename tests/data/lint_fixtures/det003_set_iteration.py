@@ -1,0 +1,11 @@
+"""DET003 fixture: bare set iteration inside fingerprint scope."""
+
+# repro-lint: pretend src/repro/history/history.py
+
+
+def fingerprint(ops):
+    pids = {op.pid for op in ops}
+    parts = []
+    for pid in pids:
+        parts.append(str(pid))
+    return "|".join(parts)

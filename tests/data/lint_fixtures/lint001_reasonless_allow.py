@@ -1,0 +1,10 @@
+"""LINT001 fixture: an allow with no reason neither suppresses nor passes."""
+
+# repro-lint: pretend src/repro/sim/clockless.py
+
+import time
+
+
+def stamp(event):
+    event.at = time.time()  # repro: allow[DET002]
+    return event

@@ -1,0 +1,10 @@
+"""LINT002 fixture: a reasoned allow whose rule never fires (stale)."""
+
+# repro-lint: pretend src/repro/sim/clockless.py
+
+# repro: allow[DET002] kept from a refactor; nothing below reads a clock
+OFFSET = 42
+
+
+def shift(value):
+    return value + OFFSET

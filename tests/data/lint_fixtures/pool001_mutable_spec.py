@@ -1,0 +1,14 @@
+"""POOL001 fixture: an unfrozen spec with unpicklable fields."""
+
+# repro-lint: pretend src/repro/scenarios/pool.py
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class LeakySpec:
+    name: str
+    on_done: Callable[[], None]
+    payload: Any
+    seed: Optional[int] = None

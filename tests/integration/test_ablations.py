@@ -1,7 +1,5 @@
 """Integration: every ablation produces its promised anomaly."""
 
-import pytest
-
 from repro.experiments.ablations import (
     ALL_ABLATIONS,
     ablate_majority_quorum,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.config import ClusterConfig, NetworkConfig
 from repro.common.errors import ConfigurationError
 from repro.kv import ConsistentHashShardMap, KVCluster
 from repro.workloads.kv import ZipfianKeys, run_kv_closed_loop

@@ -5,11 +5,8 @@ are slower than the simulator tests but prove the protocol code runs
 outside the simulator.
 """
 
-from pathlib import Path
-
 import pytest
 
-from repro.common.errors import ProcessCrashed, ProtocolError, StorageError, TransportError
 from repro.history.checker import (
     check_persistent_atomicity,
     check_transient_atomicity,

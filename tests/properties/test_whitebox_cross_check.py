@@ -17,7 +17,6 @@ from repro.history.checker import (
     check_persistent_atomicity,
     check_transient_atomicity,
 )
-from repro.history.events import WRITE
 from repro.history.recorder import HistoryRecorder
 from repro.history.register_checker import check_tagged_history
 

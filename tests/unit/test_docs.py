@@ -8,7 +8,6 @@ just on the docs job.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -37,9 +36,14 @@ def test_docs_tree_is_complete():
     docs = REPO_ROOT / "docs"
     for name in (
         "architecture.md", "protocols.md", "checking.md",
-        "benchmarks.md", "scenarios.md",
+        "benchmarks.md", "scenarios.md", "determinism.md",
     ):
         assert (docs / name).is_file(), f"docs/{name} is missing"
+
+
+def test_lint_rule_ids_match_registry():
+    checker = load_checker()
+    assert checker.check_lint_rules() == []
 
 
 def test_checker_cli_exit_status():

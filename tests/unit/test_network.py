@@ -80,7 +80,10 @@ class TestDelivery:
     def test_sender_egress_serializes_transmissions(self):
         kernel, network, inboxes, _ = make_network(n=2, send_overhead=1e-5)
         arrival_times = []
-        network._handlers[1] = lambda env: arrival_times.append(kernel.now)
+        def record_arrival(env):
+            arrival_times.append(kernel.now)
+
+        network._handlers[1] = record_arrival
         network.send(0, 1, query(), depth=0)
         network.send(0, 1, query(), depth=0)
         kernel.run()

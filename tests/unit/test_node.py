@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.config import ClusterConfig
 from repro.common.errors import (
     NotRecoveredError,
     ProcessCrashed,

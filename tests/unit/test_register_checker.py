@@ -2,8 +2,6 @@
 
 from repro.common.ids import OperationId
 from repro.common.timestamps import Tag, bottom_tag
-from repro.history.events import Crash, Invoke, Recover, Reply
-from repro.history.history import History
 from repro.history.recorder import HistoryRecorder
 from repro.history.register_checker import check_tagged_history
 

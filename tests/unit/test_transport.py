@@ -117,5 +117,9 @@ class TestUdpTransport:
 
     def test_garbage_datagrams_are_dropped(self):
         transport = UdpTransport(0)
-        transport._receive = lambda *args: (_ for _ in ()).throw(AssertionError)
+
+        def fail_on_receive(*args):
+            raise AssertionError("garbage datagram reached _receive")
+
+        transport._receive = fail_on_receive
         transport._on_datagram(b"not-a-pickle")  # must not raise

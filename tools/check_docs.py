@@ -12,8 +12,13 @@ Two gates, both cheap enough for every CI run and the tier-1 suite
    cleanly (what ``python -m pydoc repro.x`` requires) and carry a
    module docstring, so the API documentation pydoc renders never goes
    stale or breaks.
+3. **Lint rules** -- the linter's rule registry (``repro.lint.RULES``)
+   and the docs must agree in both directions: every registered rule
+   id is documented in ``docs/determinism.md``, and every rule id
+   mentioned anywhere in the docs exists in the registry (a doc that
+   cites a deleted or mistyped rule is lying about what is enforced).
 
-Exit status is non-zero with a readable report when either gate fails::
+Exit status is non-zero with a readable report when any gate fails::
 
     python tools/check_docs.py
 """
@@ -89,8 +94,46 @@ def check_modules() -> List[str]:
     return problems
 
 
+#: Rule-id tokens worth cross-checking: the registry's prefixes with a
+#: three-digit number.  Keeping the prefixes explicit avoids false
+#: positives on other ALLCAPS+digits tokens in prose.
+_RULE_ID = re.compile(r"\b(?:DET|TRC|HOT|API|POOL|LINT)[0-9]{3}\b")
+
+#: The document that must describe every registered lint rule.
+RULES_DOC = "docs/determinism.md"
+
+
+def check_lint_rules() -> List[str]:
+    """Registry/docs rule-id drift, in both directions."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.lint import all_rule_ids
+
+    registered = set(all_rule_ids())
+    problems = []
+
+    rules_doc = REPO_ROOT / RULES_DOC
+    documented = (
+        set(_RULE_ID.findall(rules_doc.read_text()))
+        if rules_doc.is_file()
+        else set()
+    )
+    for rule_id in sorted(registered - documented):
+        problems.append(
+            f"{RULES_DOC}: registered lint rule {rule_id} is not documented"
+        )
+
+    for doc in iter_doc_files():
+        for rule_id in sorted(set(_RULE_ID.findall(doc.read_text()))):
+            if rule_id not in registered:
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: mentions lint rule "
+                    f"{rule_id}, which is not in the registry"
+                )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_modules()
+    problems = check_links() + check_modules() + check_lint_rules()
     for problem in problems:
         print(problem)
     checked = len(iter_doc_files())
@@ -98,7 +141,10 @@ def main() -> int:
     if problems:
         print(f"\nFAILED: {len(problems)} problem(s)")
         return 1
-    print(f"ok: {checked} doc files link-clean, {modules} modules documented")
+    print(
+        f"ok: {checked} doc files link-clean, {modules} modules "
+        "documented, lint rules in sync"
+    )
     return 0
 
 
